@@ -1,0 +1,45 @@
+GO ?= go
+
+.PHONY: all build test race bench vet fmt examples tables attacks xsa demo clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/secureio
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/memsharing
+	$(GO) run ./examples/extensions
+
+tables:
+	$(GO) run ./cmd/benchtab
+
+attacks:
+	$(GO) run ./cmd/attacksim
+
+xsa:
+	$(GO) run ./cmd/xsastats -mechanisms
+
+demo:
+	$(GO) run ./cmd/fidelius-demo
+
+clean:
+	$(GO) clean ./...

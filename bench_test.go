@@ -1,0 +1,254 @@
+package fidelius
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (Section 7), plus the ablations of DESIGN.md §4.
+// The simulation is deterministic, so each benchmark reports its derived
+// metrics (overhead percentages, gate cycle counts) via b.ReportMetric;
+// wall-clock ns/op measures only the simulator itself.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"fidelius/internal/bench"
+	"fidelius/internal/workload"
+)
+
+// BenchmarkFig5SPECCPU2006 regenerates Figure 5: SPEC CPU 2006 normalized
+// overheads of Fidelius and Fidelius-enc versus original Xen.
+func BenchmarkFig5SPECCPU2006(b *testing.B) {
+	var rows []bench.FigRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Figure5(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	avg := bench.Average(rows)
+	b.ReportMetric(avg.Fid, "fid-overhead-%")
+	b.ReportMetric(avg.Enc, "enc-overhead-%")
+	for _, r := range rows {
+		if r.Name == "mcf" {
+			b.ReportMetric(r.Enc, "mcf-enc-%")
+		}
+		if r.Name == "omnetpp" {
+			b.ReportMetric(r.Enc, "omnetpp-enc-%")
+		}
+	}
+}
+
+// BenchmarkFig6PARSEC regenerates Figure 6: PARSEC normalized overheads.
+func BenchmarkFig6PARSEC(b *testing.B) {
+	var rows []bench.FigRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Figure6(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	avg := bench.Average(rows)
+	b.ReportMetric(avg.Fid, "fid-overhead-%")
+	b.ReportMetric(avg.Enc, "enc-overhead-%")
+	for _, r := range rows {
+		if r.Name == "canneal" {
+			b.ReportMetric(r.Enc, "canneal-enc-%")
+		}
+	}
+}
+
+// BenchmarkTable3Fio regenerates Table 3: fio under original Xen versus
+// Fidelius with AES-NI I/O protection.
+func BenchmarkTable3Fio(b *testing.B) {
+	var rows []bench.FioRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table3(320)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Slowdown, r.Pattern.String()+"-%")
+	}
+}
+
+// BenchmarkMicroGates regenerates Section 7.2's first micro-benchmark:
+// the three gate transition costs (paper: 306 / 16 / 339 cycles).
+func BenchmarkMicroGates(b *testing.B) {
+	var g bench.MicroGates
+	for i := 0; i < b.N; i++ {
+		var err error
+		g, err = bench.MicroBenchGates(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.Gate1), "gate1-cycles")
+	b.ReportMetric(float64(g.Gate2), "gate2-cycles")
+	b.ReportMetric(float64(g.Gate3), "gate3-cycles")
+}
+
+// BenchmarkMicroShadow regenerates the second micro-benchmark: the
+// shadow-and-check cost per void hypercall (paper: 661 cycles).
+func BenchmarkMicroShadow(b *testing.B) {
+	var s bench.MicroShadow
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = bench.MicroBenchShadow(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Shadow), "shadow-cycles")
+	b.ReportMetric(float64(s.XenRT), "xen-roundtrip-cycles")
+	b.ReportMetric(float64(s.FideliusRT), "fidelius-roundtrip-cycles")
+}
+
+// BenchmarkMicroIOCrypt regenerates the third micro-benchmark: a 512 MB
+// guest memory copy under the three encryption techniques (paper: AES-NI
+// 11.49%, SME 8.69%, software >20x).
+func BenchmarkMicroIOCrypt(b *testing.B) {
+	var r bench.MicroIOCrypt
+	for i := 0; i < b.N; i++ {
+		r = bench.MicroBenchIOCrypt(512 << 20)
+	}
+	b.ReportMetric(r.AESNISlowdown, "aesni-%")
+	b.ReportMetric(r.SEVSlowdown, "sev-%")
+	b.ReportMetric(r.SoftwareRatio, "software-x")
+}
+
+// BenchmarkGateAblation quantifies the context-transition design choice
+// of Section 4.1.3: CR3 switch vs WP toggle vs temporary mapping.
+func BenchmarkGateAblation(b *testing.B) {
+	var a bench.GateAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		a, err = bench.MeasureGateAblation(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(a.CR3Switch), "cr3-switch-cycles")
+	b.ReportMetric(float64(a.WPToggle), "wp-toggle-cycles")
+	b.ReportMetric(float64(a.AddMapping), "add-mapping-cycles")
+}
+
+// BenchmarkNPTEagerLazy quantifies the eager-versus-lazy NPT population
+// choice of Section 4.3.4.
+func BenchmarkNPTEagerLazy(b *testing.B) {
+	var a bench.NPTAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		a, err = bench.MeasureNPTAblation(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(a.EagerRun), "eager-run-cycles")
+	b.ReportMetric(float64(a.LazyRun), "lazy-run-cycles")
+	b.ReportMetric(float64(a.LazyNPF), "lazy-npf-count")
+}
+
+// BenchmarkPagingAblation quantifies the nested-paging walk cost a guest
+// pays once it enables its own page tables.
+func BenchmarkPagingAblation(b *testing.B) {
+	var a bench.PagingAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		a, err = bench.MeasurePagingAblation(256)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(a.FlatCycles), "flat-cycles/access")
+	b.ReportMetric(float64(a.NestedCycles), "nested-cycles/access")
+}
+
+// BenchmarkShadowVsTrap quantifies the Section 5.1 choice of shadowing
+// the VMCB once per exit over trapping every hypervisor access to it.
+func BenchmarkShadowVsTrap(b *testing.B) {
+	var m bench.ShadowVsTrap
+	for i := 0; i < b.N; i++ {
+		m = bench.ModelShadowVsTrap(5)
+	}
+	b.ReportMetric(float64(m.ShadowCost), "shadow-cycles")
+	b.ReportMetric(float64(m.TrapCost), "trap-cycles")
+}
+
+// BenchmarkFioSEVPath extends Table 3 with the SEV-API I/O protection
+// path on the sequential-write workload.
+func BenchmarkFioSEVPath(b *testing.B) {
+	var slow float64
+	for i := 0; i < b.N; i++ {
+		base, sevRes, err := bench.MeasureFioSEVPath(workload.SeqWrite, 160)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow = sevRes.Slowdown(base)
+	}
+	b.ReportMetric(slow, "sev-io-slowdown-%")
+}
+
+// BenchmarkProtectedBoot measures the full protected-VM boot path
+// (RECEIVE chain, measurement verification, activation).
+func BenchmarkProtectedBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plat, err := NewPlatform(Config{Protected: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		owner, err := NewOwner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bundle, _, err := PrepareGuest(owner, plat.PlatformKey(), make([]byte, 4*PageSize), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm, err := plat.LaunchVM("bench", 64, bundle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := plat.Shutdown(vm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGuestMemoryThroughput measures raw guest memory access through
+// the full two-dimensional translation and encryption pipeline.
+func BenchmarkGuestMemoryThroughput(b *testing.B) {
+	plat, err := NewPlatform(Config{Protected: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner, _ := NewOwner()
+	bundle, _, err := PrepareGuest(owner, plat.PlatformKey(), nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm, err := plat.LaunchVM("tput", 64, bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	b.ResetTimer()
+	plat.StartVCPU(vm, func(g *GuestEnv) error {
+		for i := 0; i < b.N; i++ {
+			if err := g.Write(0x8000, buf); err != nil {
+				return err
+			}
+			if err := g.Read(0x8000, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := plat.Run(vm); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(2 * PageSize)
+}

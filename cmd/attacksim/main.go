@@ -1,0 +1,49 @@
+// attacksim runs the adversary suite of Section 6 against one or both
+// platform configurations and prints the outcome matrix.
+//
+// Usage:
+//
+//	attacksim [-config xen|fidelius|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fidelius/internal/attack"
+)
+
+func run(protected bool) {
+	outcomes, err := attack.RunAll(protected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocked := 0
+	for _, o := range outcomes {
+		fmt.Println(o)
+		if !o.Succeeded {
+			blocked++
+		}
+	}
+	fmt.Printf("-- %d/%d attacks blocked --\n\n", blocked, len(outcomes))
+}
+
+func main() {
+	config := flag.String("config", "both", "configuration to attack: xen, fidelius, or both")
+	flag.Parse()
+
+	fmt.Printf("%-28s %-9s %-9s %s\n", "attack", "config", "verdict", "detail")
+	fmt.Println("--------------------------------------------------------------------------------")
+	switch *config {
+	case "xen":
+		run(false)
+	case "fidelius":
+		run(true)
+	case "both":
+		run(false)
+		run(true)
+	default:
+		log.Fatalf("unknown config %q", *config)
+	}
+}

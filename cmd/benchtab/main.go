@@ -1,0 +1,120 @@
+// benchtab regenerates the paper's evaluation artifacts (Section 7) on
+// the simulated platform: Figure 5 (SPEC CPU 2006), Figure 6 (PARSEC),
+// Table 3 (fio), and the three micro-benchmarks of Section 7.2.
+//
+// Usage:
+//
+//	benchtab [-fig5] [-fig6] [-table3] [-micro] [-iters N] [-sectors N]
+//
+// With no flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"fidelius/internal/bench"
+)
+
+func main() {
+	fig5 := flag.Bool("fig5", false, "run Figure 5 (SPEC CPU 2006 overheads)")
+	fig6 := flag.Bool("fig6", false, "run Figure 6 (PARSEC overheads)")
+	table3 := flag.Bool("table3", false, "run Table 3 (fio)")
+	micro := flag.Bool("micro", false, "run the Section 7.2 micro-benchmarks")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	iters := flag.Int("iters", 40, "workload iterations per benchmark")
+	sectors := flag.Int("sectors", 640, "fio sectors per pattern")
+	csvDir := flag.String("csv", "", "also write fig5.csv/fig6.csv/table3.csv into this directory")
+	flag.Parse()
+
+	writeCSV := func(name string, write func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	all := !*fig5 && !*fig6 && !*table3 && !*micro && !*ablation
+
+	if all || *fig5 {
+		rows, err := bench.Figure5(*iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatFigure("Figure 5: SPEC CPU 2006 normalized overhead vs original Xen", rows))
+		writeCSV("fig5.csv", func(f *os.File) error { return bench.WriteFigureCSV(f, rows) })
+	}
+	if all || *fig6 {
+		rows, err := bench.Figure6(*iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatFigure("Figure 6: PARSEC normalized overhead vs original Xen", rows))
+		writeCSV("fig6.csv", func(f *os.File) error { return bench.WriteFigureCSV(f, rows) })
+	}
+	if all || *table3 {
+		rows, err := bench.Table3(*sectors)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatTable3(rows))
+		writeCSV("table3.csv", func(f *os.File) error { return bench.WriteFioCSV(f, rows) })
+	}
+	if all || *micro {
+		g, err := bench.MicroBenchGates(1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Micro-benchmark 1: gate transition costs (cycles)")
+		fmt.Printf("  type 1 (disable WP):     %4d   (paper: %d)\n", g.Gate1, g.PaperG1)
+		fmt.Printf("  type 2 (checking loop):  %4d   (paper: %d)\n", g.Gate2, g.PaperG2)
+		fmt.Printf("  type 3 (add mapping):    %4d   (paper: %d; TLB flush %d, PT write %d)\n",
+			g.Gate3, g.PaperG3, g.Gate3TLBFlush, g.Gate3CacheWrt)
+		fmt.Println()
+
+		s, err := bench.MicroBenchShadow(1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Micro-benchmark 2: shadowing cost per void hypercall round trip")
+		fmt.Printf("  xen round trip:          %5d cycles\n", s.XenRT)
+		fmt.Printf("  fidelius round trip:     %5d cycles\n", s.FideliusRT)
+		fmt.Printf("  shadow-and-check:        %5d cycles  (paper: %d)\n", s.Shadow, s.Paper)
+		fmt.Println()
+
+		io := bench.MicroBenchIOCrypt(512 << 20)
+		fmt.Println("Micro-benchmark 3: 512 MB copy under three encryption techniques")
+		fmt.Printf("  AES-NI slowdown:         %6.2f%%  (paper: 11.49%%)\n", io.AESNISlowdown)
+		fmt.Printf("  SEV/SME slowdown:        %6.2f%%  (paper: 8.69%%)\n", io.SEVSlowdown)
+		fmt.Printf("  software overhead:       %6.1fx  (paper: >20x)\n", io.SoftwareRatio)
+		fmt.Println()
+	}
+	if all || *ablation {
+		ga, err := bench.MeasureGateAblation(200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ga)
+		na, err := bench.MeasureNPTAblation(48)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(na)
+		pa, err := bench.MeasurePagingAblation(256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(pa)
+		fmt.Println(bench.ModelShadowVsTrap(5))
+	}
+}

@@ -1,0 +1,169 @@
+// fidelius-demo walks through the full protected-VM life cycle of the
+// paper (Section 4.3): system initialisation, VM preparation, encrypted
+// boot, runtime memory and I/O protection, secure memory sharing,
+// migration, and shutdown — narrating what each step guarantees.
+//
+// Usage:
+//
+//	fidelius-demo
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"fidelius"
+	"fidelius/internal/xen"
+)
+
+func step(n int, title string) { fmt.Printf("\n[%d] %s\n", n, title) }
+
+func main() {
+	step(1, "System initialisation (§4.3.1): boot machine, hypervisor, late-launch Fidelius")
+	plat, err := fidelius.NewPlatform(fidelius.Config{Protected: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    hypervisor code measured: %x…\n", plat.F.HypervisorMeasurement[:12])
+	fmt.Println("    privileged instructions monopolised, page tables write-protected,")
+	fmt.Println("    VMRUN and MOV CR3 stub pages unmapped, SEV metadata self-maintained")
+
+	step(2, "VM preparing (§4.3.2): the owner builds encrypted kernel and disk images offline")
+	owner, err := fidelius.NewOwner()
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel := bytes.Repeat([]byte("DEMO-KERNEL-TEXT"), 512)
+	diskImage := bytes.Repeat([]byte("root-filesystem."), 256)
+	bundle, _, err := fidelius.PrepareGuest(owner, plat.PlatformKey(), kernel, diskImage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    kernel image: %d pages under the transport key; Kblk embedded at offset %d\n",
+		bundle.Image.NumPages(), fidelius.KblkOffset)
+	fmt.Printf("    Kwrap (wrapped TEK/TIK) is public: %d bytes\n", len(bundle.Kwrap.Ciphertext))
+
+	step(3, "VM bootup (§4.3.3): RECEIVE_START / UPDATE / FINISH, then ACTIVATE")
+	vm, err := plat.LaunchVM("demo", 64, bundle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plat.SetupIOSession(vm); err != nil {
+		log.Fatal(err)
+	}
+	dk := fidelius.NewDisk(256)
+	backend, err := plat.AttachDisk(vm, dk, 2, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend.SnoopEnabled = true
+	fmt.Printf("    vm %q booted: ASID %d, measurement verified against Mvm\n", vm.Name, vm.ASID)
+
+	step(4, "Runtime protection (§4.3.4-4.3.5): memory and I/O")
+	kbase := plat.KernelBase(vm, bundle) * fidelius.PageSize
+	payload := bytes.Repeat([]byte("telemetry-record"), fidelius.SectorSize/16)
+	plat.StartVCPU(vm, func(g *fidelius.GuestEnv) error {
+		head := make([]byte, 16)
+		if err := g.Read(kbase, head); err != nil {
+			return err
+		}
+		fmt.Printf("    guest reads its kernel: %q\n", head)
+		if err := g.Write(0x8000, []byte("runtime secret")); err != nil {
+			return err
+		}
+		bf, err := fidelius.NewBlockFrontend(g)
+		if err != nil {
+			return err
+		}
+		front := fidelius.NewSEVFront(g, bf)
+		if err := front.WriteSectors(10, payload); err != nil {
+			return err
+		}
+		back := make([]byte, len(payload))
+		if err := front.ReadSectors(10, back); err != nil {
+			return err
+		}
+		fmt.Printf("    guest disk round trip ok: %v\n", bytes.Equal(back, payload))
+		return nil
+	})
+	if err := plat.Run(vm); err != nil {
+		log.Fatal(err)
+	}
+	pfn, _ := vm.GPAFrame(8)
+	if err := plat.X.M.CPU.ReadVA(uint64(pfn.Addr()), make([]byte, 4)); err != nil {
+		fmt.Println("    hypervisor read of guest memory: BLOCKED")
+	}
+	fmt.Printf("    driver domain saw plaintext on the I/O path: %v\n",
+		bytes.Contains(backend.Snoop, []byte("telemetry-record")))
+
+	step(5, "Secure memory sharing (§4.3.7): pre_sharing_op + GIT policy")
+	bundle2, _, _ := fidelius.PrepareGuest(owner, plat.PlatformKey(), nil, nil)
+	peer, err := plat.LaunchVM("peer", 32, bundle2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ref uint64
+	plat.StartVCPU(vm, func(g *fidelius.GuestEnv) error {
+		if err := g.WriteUnencrypted(12*fidelius.PageSize, []byte("shared channel")); err != nil {
+			return err
+		}
+		if _, err := g.Hypercall(fidelius.HCPreSharingOp, uint64(peer.ID), 12, 1, 0); err != nil {
+			return err
+		}
+		ref, err = g.Hypercall(fidelius.HCGrantTableOp, xen.GntOpGrant, uint64(peer.ID), 12, 0)
+		return err
+	})
+	if err := plat.Run(vm); err != nil {
+		log.Fatal(err)
+	}
+	plat.StartVCPU(peer, func(g *fidelius.GuestEnv) error {
+		dst := uint64(peer.MemPages)
+		if _, err := g.Hypercall(fidelius.HCGrantTableOp, xen.GntOpMap, uint64(vm.ID), ref, dst); err != nil {
+			return err
+		}
+		buf := make([]byte, 14)
+		if err := g.ReadUnencrypted(dst*fidelius.PageSize, buf); err != nil {
+			return err
+		}
+		fmt.Printf("    peer read through sanctioned grant: %q\n", buf)
+		return nil
+	})
+	if err := plat.Run(peer); err != nil {
+		log.Fatal(err)
+	}
+
+	step(6, "Migration (§4.3.6): SEND/RECEIVE to a second machine")
+	target, err := fidelius.NewPlatform(fidelius.Config{Protected: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := plat.MigrateOut(peer, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	moved, err := target.MigrateIn(snap, plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    vm %q migrated: %d encrypted pages, measurement verified\n", moved.Name, len(snap.Packets))
+
+	step(7, "Remote attestation (§4.3.1): a verifier checks the platform quote")
+	nonce := []byte("tenant-verifier-nonce")
+	quote, err := plat.Attest(nonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	akey, _ := plat.AttestationKey()
+	fmt.Printf("    quote over measurement %x… verifies: %v\n",
+		quote.HVMeasurement[:8], fidelius.VerifyQuote(akey, quote, nonce) == nil)
+
+	step(8, "Shutdown (§4.3.8): DEACTIVATE, DECOMMISSION, PIT/GIT scrub")
+	if err := plat.Shutdown(vm); err != nil {
+		log.Fatal(err)
+	}
+	if err := target.Shutdown(moved); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    done; policy violations during the benign session: %d\n", len(plat.Violations()))
+}

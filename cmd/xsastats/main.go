@@ -1,0 +1,32 @@
+// xsastats prints the quantitative Xen Security Advisory analysis of
+// Section 6.2: how many of the 235 XSAs Fidelius thwarts, and through
+// which mechanism.
+//
+// Usage:
+//
+//	xsastats [-mechanisms]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fidelius/internal/xsa"
+)
+
+func main() {
+	mechanisms := flag.Bool("mechanisms", false, "list each thwarted advisory and its blocking mechanism")
+	flag.Parse()
+
+	corpus := xsa.Corpus()
+	fmt.Print(xsa.Analyze(corpus))
+
+	if *mechanisms {
+		fmt.Println("\nThwarted advisories:")
+		for _, a := range corpus {
+			if a.Thwarted() {
+				fmt.Printf("  XSA-%-4d %-22s %s\n", a.ID, a.Class, a.Mechanism)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Memory sharing: two cooperative protected VMs share a page through the
+// grant-table mechanism, guarded by Fidelius's pre_sharing_op hypercall
+// and GIT policy (Section 4.3.7). A malicious hypervisor then tries to
+// forge the grant's permissions and to map the page elsewhere — both are
+// blocked.
+//
+// Run with: go run ./examples/memsharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fidelius"
+	"fidelius/internal/mmu"
+	"fidelius/internal/xen"
+)
+
+func main() {
+	plat, err := fidelius.NewPlatform(fidelius.Config{Protected: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner, _ := fidelius.NewOwner()
+	mkVM := func(name string) *fidelius.Domain {
+		bundle, _, err := fidelius.PrepareGuest(owner, plat.PlatformKey(), nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vm, err := plat.LaunchVM(name, 32, bundle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return vm
+	}
+	producer := mkVM("producer")
+	consumer := mkVM("consumer")
+
+	// The producer declares the sharing to Fidelius (read-only), fills
+	// the page, and creates the grant.
+	const sharedGFN = 7
+	message := []byte("readings: 21.5C 1013hPa")
+	var ref uint64
+	plat.StartVCPU(producer, func(g *fidelius.GuestEnv) error {
+		// Shared memory must be plaintext — each VM has its own key.
+		if err := g.WriteUnencrypted(sharedGFN*fidelius.PageSize, message); err != nil {
+			return err
+		}
+		if _, err := g.Hypercall(fidelius.HCPreSharingOp, uint64(consumer.ID), sharedGFN, 1, uint64(xen.GrantReadOnly)); err != nil {
+			return err
+		}
+		r, err := g.Hypercall(fidelius.HCGrantTableOp, xen.GntOpGrant, uint64(consumer.ID), sharedGFN, uint64(xen.GrantReadOnly))
+		ref = r
+		return err
+	})
+	if err := plat.Run(producer); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("producer granted gfn %d read-only as ref %d\n", sharedGFN, ref)
+
+	// The consumer maps the grant and reads the data; its attempt to
+	// write is stopped by the read-only mapping.
+	plat.StartVCPU(consumer, func(g *fidelius.GuestEnv) error {
+		dst := uint64(consumer.MemPages)
+		if _, err := g.Hypercall(fidelius.HCGrantTableOp, xen.GntOpMap, uint64(producer.ID), ref, dst); err != nil {
+			return err
+		}
+		buf := make([]byte, len(message))
+		if err := g.ReadUnencrypted(dst*fidelius.PageSize, buf); err != nil {
+			return err
+		}
+		fmt.Printf("consumer read: %q\n", buf)
+		if err := g.WriteUnencrypted(dst*fidelius.PageSize, []byte("!")); err != nil {
+			fmt.Printf("consumer write attempt: BLOCKED (%v)\n", err)
+		}
+		return nil
+	})
+	if err := plat.Run(consumer); err != nil {
+		log.Fatal(err)
+	}
+
+	// The malicious hypervisor now tries the two grant attacks of §2.2.
+	// 1. Forge the grant entry to writable: the grant table is
+	// write-protected.
+	slot, _ := producer.Grant.SlotPA(int(ref))
+	forged := xen.GrantEntry{Flags: xen.GrantInUse, Grantee: consumer.ID, GFN: sharedGFN}
+	var buf [xen.GrantEntrySize]byte
+	forged.Marshal(buf[:])
+	if err := plat.X.M.CPU.WriteVA(uint64(slot), buf[:]); err != nil {
+		fmt.Printf("hypervisor grant forgery: BLOCKED (%v)\n", err)
+	}
+	// 2. Map the producer's *private* memory into the consumer: PIT
+	// policy veto (no GIT record covers it).
+	privateFrame, _ := producer.GPAFrame(3)
+	err = plat.X.MapNPT(consumer, uint64(consumer.MemPages+1)*fidelius.PageSize,
+		mmu.MakePTE(privateFrame, mmu.FlagP|mmu.FlagU))
+	if err != nil {
+		fmt.Printf("hypervisor private-page remap: BLOCKED (%v)\n", err)
+	}
+
+	fmt.Printf("violations logged by Fidelius: %d\n", len(plat.Violations()))
+}

@@ -1,0 +1,111 @@
+// Secure I/O: the two para-virtualized I/O protection paths of the paper
+// (Section 4.3.5) side by side, with a snooping driver domain on the I/O
+// path demonstrating what each configuration leaks.
+//
+// Run with: go run ./examples/secureio
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"fidelius"
+)
+
+const payloadTag = "CONFIDENTIAL-DB!"
+
+func runConfig(name string, protected bool, useSEVPath bool) {
+	plat, err := fidelius.NewPlatform(fidelius.Config{Protected: protected})
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner, _ := fidelius.NewOwner()
+	diskImage := bytes.Repeat([]byte("preloaded-data.."), 64)
+	bundle, _, err := fidelius.PrepareGuest(owner, plat.PlatformKey(), nil, diskImage)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var vm *fidelius.Domain
+	if protected {
+		if vm, err = plat.LaunchVM(name, 64, bundle); err != nil {
+			log.Fatal(err)
+		}
+		if useSEVPath {
+			if err := plat.SetupIOSession(vm); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		if vm, err = plat.CreateVM(name, 64, true); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	dk := fidelius.NewDisk(256)
+	var attach *fidelius.GuestBundle
+	if protected && !useSEVPath {
+		attach = bundle // preload the Kblk-encrypted image
+	}
+	backend, err := plat.AttachDisk(vm, dk, 2, 1, attach)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend.SnoopEnabled = true
+
+	kbase := plat.KernelBase(vm, bundle) * fidelius.PageSize
+	payload := bytes.Repeat([]byte(payloadTag), fidelius.SectorSize/16*2)
+	plat.StartVCPU(vm, func(g *fidelius.GuestEnv) error {
+		bf, err := fidelius.NewBlockFrontend(g)
+		if err != nil {
+			return err
+		}
+		var dev interface {
+			WriteSectors(lba uint64, data []byte) error
+			ReadSectors(lba uint64, buf []byte) error
+		}
+		switch {
+		case !protected:
+			dev = bf
+		case useSEVPath:
+			dev = fidelius.NewSEVFront(g, bf)
+		default:
+			var kblk [32]byte
+			if err := g.Read(kbase+fidelius.KblkOffset, kblk[:]); err != nil {
+				return err
+			}
+			if dev, err = fidelius.NewAESNIFront(g, bf, kblk); err != nil {
+				return err
+			}
+		}
+		if err := dev.WriteSectors(100, payload); err != nil {
+			return err
+		}
+		back := make([]byte, len(payload))
+		if err := dev.ReadSectors(100, back); err != nil {
+			return err
+		}
+		if !bytes.Equal(back, payload) {
+			return fmt.Errorf("round trip mismatch")
+		}
+		return nil
+	})
+	if err := plat.Run(vm); err != nil {
+		log.Fatal(err)
+	}
+
+	ringLeak := bytes.Contains(backend.Snoop, []byte(payloadTag))
+	diskLeak := bytes.Contains(dk.Snapshot(), []byte(payloadTag))
+	fmt.Printf("%-22s driver-domain sees plaintext: %-5v  disk holds plaintext: %v\n",
+		name+":", ringLeak, diskLeak)
+}
+
+func main() {
+	fmt.Println("Disk I/O privacy across configurations (paper §4.3.5, Table 3 workload path):")
+	runConfig("xen-baseline", false, false)
+	runConfig("fidelius-aesni", true, false)
+	runConfig("fidelius-sev-api", true, true)
+	fmt.Println("\nBoth protected paths keep the driver domain and the physical disk blind;")
+	fmt.Println("the AES-NI path uses the guest's Kblk, the SEV path the firmware's s-dom/r-dom contexts.")
+}

@@ -1,0 +1,3 @@
+module fidelius
+
+go 1.22

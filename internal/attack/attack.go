@@ -1,0 +1,294 @@
+// Package attack implements the adversary of the paper's threat model: an
+// untrusted hypervisor (and driver domain) plus physical attacks. Every
+// attack runs against two platform configurations — plain Xen (the
+// baseline, where it is expected to succeed) and Fidelius (where it must
+// be blocked) — reproducing the security analysis of Section 6.
+package attack
+
+import (
+	"bytes"
+	"fmt"
+
+	"fidelius/internal/core"
+	"fidelius/internal/disk"
+	"fidelius/internal/hw"
+	"fidelius/internal/sev"
+	"fidelius/internal/xen"
+)
+
+// Outcome is the result of one attack run.
+type Outcome struct {
+	Name      string
+	Config    string // "xen" or "fidelius"
+	Succeeded bool   // the attacker achieved the goal
+	Detail    string
+}
+
+func (o Outcome) String() string {
+	verdict := "BLOCKED"
+	if o.Succeeded {
+		verdict = "SUCCEEDED"
+	}
+	return fmt.Sprintf("%-28s %-9s %-9s %s", o.Name, o.Config, verdict, o.Detail)
+}
+
+// Attack is one adversarial procedure.
+type Attack interface {
+	Name() string
+	// Description explains the attack and which paper section covers it.
+	Description() string
+	// Run executes the attack against the platform and reports whether
+	// the attacker's goal was achieved.
+	Run(p *Platform) Outcome
+}
+
+// Platform is a booted system with a victim VM holding a known secret (in
+// memory and on disk) and a conspirator VM colluding with the hypervisor.
+type Platform struct {
+	X *xen.Xen
+	F *core.Fidelius // nil in the baseline configuration
+
+	Victim      *xen.Domain
+	Conspirator *xen.Domain
+
+	// Secret is planted by the victim at SecretGFN and written to disk
+	// at SecretLBA.
+	Secret    []byte
+	SecretGFN uint64
+	SecretLBA uint64
+
+	Backend *xen.BlockBackend
+	Disk    *disk.Disk
+}
+
+// Protected reports whether Fidelius is active.
+func (p *Platform) Protected() bool { return p.F != nil }
+
+// ConfigName labels the configuration.
+func (p *Platform) ConfigName() string {
+	if p.Protected() {
+		return "fidelius"
+	}
+	return "xen"
+}
+
+// VictimFrame returns the host frame backing the victim's secret page.
+func (p *Platform) VictimFrame() hw.PFN {
+	pfn, _ := p.Victim.GPAFrame(p.SecretGFN)
+	return pfn
+}
+
+const (
+	secretGFN = 8
+	secretLBA = 40
+	memPages  = 64
+	ioPort    = 1
+)
+
+// plantSecret is the victim workload: write the secret into private
+// memory (and read it back, so the cache holds plaintext — the state the
+// remapping attacks exploit) and store it on disk through the
+// configuration's I/O path.
+func plantSecret(p *Platform) xen.GuestFunc {
+	return func(g *xen.GuestEnv) error {
+		if err := g.Write(p.SecretGFN<<hw.PageShift, p.Secret); err != nil {
+			return err
+		}
+		tmp := make([]byte, len(p.Secret))
+		if err := g.Read(p.SecretGFN<<hw.PageShift, tmp); err != nil {
+			return err
+		}
+		bf, err := xen.NewBlockFrontend(g)
+		if err != nil {
+			return err
+		}
+		if p.Protected() {
+			front := core.NewSEVFront(g, bf)
+			return front.WriteSectors(p.SecretLBA, p.Secret)
+		}
+		return bf.WriteSectors(p.SecretLBA, p.Secret)
+	}
+}
+
+// Setup boots a platform in the given configuration: machine, hypervisor,
+// optionally Fidelius, a victim VM that plants the secret in memory and on
+// disk (via the configuration's I/O path), and a conspirator VM.
+func Setup(protected bool) (*Platform, error) {
+	m, err := xen.NewMachine(xen.Config{MemPages: 4096, CacheLines: 2048})
+	if err != nil {
+		return nil, err
+	}
+	x, err := xen.New(m)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		X:         x,
+		Secret:    bytes.Repeat([]byte("TOP-SECRET-DATA!"), 32), // 512 bytes
+		SecretGFN: secretGFN,
+		SecretLBA: secretLBA,
+		Disk:      disk.New(256),
+	}
+
+	if protected {
+		f, err := core.Enable(x)
+		if err != nil {
+			return nil, err
+		}
+		p.F = f
+		owner, err := sev.NewOwner()
+		if err != nil {
+			return nil, err
+		}
+		pub, err := m.FW.PublicKey()
+		if err != nil {
+			return nil, err
+		}
+		bundle, _, err := core.PrepareGuest(owner, pub, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.Victim, err = f.LaunchVM("victim", memPages, bundle)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.SetupIOSession(p.Victim); err != nil {
+			return nil, err
+		}
+		p.Backend, err = f.AttachProtectedDisk(p.Victim, p.Disk, 2, ioPort, nil)
+		if err != nil {
+			return nil, err
+		}
+		bundle2, _, err := core.PrepareGuest(owner, pub, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.Conspirator, err = f.LaunchVM("conspirator", memPages, bundle2)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p.Victim, err = x.CreateDomain(xen.DomainConfig{Name: "victim", MemPages: memPages, SEV: true})
+		if err != nil {
+			return nil, err
+		}
+		p.Backend, err = x.AttachBlockDevice(p.Victim, p.Disk, 2, ioPort)
+		if err != nil {
+			return nil, err
+		}
+		p.Conspirator, err = x.CreateDomain(xen.DomainConfig{Name: "conspirator", MemPages: memPages, SEV: true})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := x.WriteStartInfo(p.Victim); err != nil {
+		return nil, err
+	}
+	p.Backend.SnoopEnabled = true
+
+	x.StartVCPU(p.Victim, plantSecret(p))
+	if err := x.Run(p.Victim); err != nil {
+		return nil, fmt.Errorf("attack: victim workload: %w", err)
+	}
+	return p, nil
+}
+
+// SetupGEK boots a protected platform whose victim uses the Section 8
+// customized-key extension (GEK boot, GEK-backed I/O, no helper
+// contexts). The attack surface must be no wider than the stock path.
+func SetupGEK() (*Platform, error) {
+	m, err := xen.NewMachine(xen.Config{MemPages: 4096, CacheLines: 2048})
+	if err != nil {
+		return nil, err
+	}
+	x, err := xen.New(m)
+	if err != nil {
+		return nil, err
+	}
+	f, err := core.Enable(x)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		X: x, F: f,
+		Secret:    bytes.Repeat([]byte("TOP-SECRET-DATA!"), 32),
+		SecretGFN: secretGFN,
+		SecretLBA: secretLBA,
+		Disk:      disk.New(256),
+	}
+	owner, err := sev.NewOwner()
+	if err != nil {
+		return nil, err
+	}
+	img, gek, err := core.PrepareGEKGuest(owner, nil)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := m.FW.PublicKey()
+	if err != nil {
+		return nil, err
+	}
+	bundle, err := core.BindGEKGuest(owner, pub, img, gek)
+	if err != nil {
+		return nil, err
+	}
+	if p.Victim, err = f.LaunchVMFromGEK("victim", memPages, bundle); err != nil {
+		return nil, err
+	}
+	if p.Backend, err = f.AttachProtectedDisk(p.Victim, p.Disk, 2, ioPort, nil); err != nil {
+		return nil, err
+	}
+	bundle2, err := core.BindGEKGuest(owner, pub, img, gek)
+	if err != nil {
+		return nil, err
+	}
+	if p.Conspirator, err = f.LaunchVMFromGEK("conspirator", memPages, bundle2); err != nil {
+		return nil, err
+	}
+	if err := x.WriteStartInfo(p.Victim); err != nil {
+		return nil, err
+	}
+	p.Backend.SnoopEnabled = true
+	x.StartVCPU(p.Victim, plantSecret(p))
+	if err := x.Run(p.Victim); err != nil {
+		return nil, fmt.Errorf("attack: gek victim workload: %w", err)
+	}
+	return p, nil
+}
+
+// All returns the full attack suite in a stable order.
+func All() []Attack {
+	return []Attack{
+		ColdBoot{},
+		DMASnoop{},
+		HypervisorDirectRead{},
+		InterVMRemap{},
+		NPTReplay{},
+		GrantForgery{},
+		KeyAbuse{},
+		RegisterTheft{},
+		VMCBControlTamper{},
+		DisableWP{},
+		CR3Pivot{},
+		HiddenGadget{},
+		IagoCPUID{},
+		IODataTheft{},
+		CodePatch{},
+		Rowhammer{},
+		HypercallFuzz{},
+	}
+}
+
+// RunAll executes every attack against a fresh platform per attack (some
+// attacks perturb global state).
+func RunAll(protected bool) ([]Outcome, error) {
+	var out []Outcome
+	for _, a := range All() {
+		p, err := Setup(protected)
+		if err != nil {
+			return nil, fmt.Errorf("setting up for %s: %w", a.Name(), err)
+		}
+		out = append(out, a.Run(p))
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+
+	"fidelius/internal/core"
+	"fidelius/internal/cpu"
+	"fidelius/internal/cycles"
+	"fidelius/internal/disk"
+	"fidelius/internal/hw"
+	"fidelius/internal/sev"
+	"fidelius/internal/workload"
+	"fidelius/internal/xen"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the
+// paper's arguments in Sections 4.1.3 (gate choice), 4.3.4 (eager NPT
+// population) and 5.1 (shadowing vs write-protecting the VMCB).
+
+// GateAblation compares the three context-transition approaches of
+// Section 4.1.3 for one protected update.
+type GateAblation struct {
+	// CR3Switch is the separate-address-space approach: two CR3 writes,
+	// each with a full TLB flush on AMD.
+	CR3Switch uint64
+	// WPToggle is the type 1 gate Fidelius adopts for the common case.
+	WPToggle uint64
+	// AddMapping is the type 3 gate used for unmapped resources.
+	AddMapping uint64
+}
+
+// MeasureGateAblation runs each transition mechanism on a protected
+// platform and reports per-transition costs.
+func MeasureGateAblation(n int) (GateAblation, error) {
+	p, err := NewPlatform(ConfigFidelius, 16)
+	if err != nil {
+		return GateAblation{}, err
+	}
+	var a GateAblation
+	a.WPToggle = p.F.BenchGate1(n)
+	a.AddMapping = p.F.BenchGate3(n)
+
+	// The CR3-switch approach: enter a (here: the same) address space
+	// and back, paying the full TLB flush twice. Executed on the real
+	// CPU via the trusted context, since Fidelius itself never does
+	// this at runtime — that is the point of the ablation.
+	c := p.X.M.CPU
+	c.TrustedContext = true
+	root := c.CR3
+	start := c.Ctl.Cycles.Total()
+	for i := 0; i < n; i++ {
+		if err := c.Hooks.CR3Write(c, c.CR3, root); err != nil {
+			return a, err
+		}
+		c.CR3 = root
+		c.TLB.FlushAll()
+		c.Ctl.Cycles.Charge(cycles.TLBFlushFull)
+		c.CR3 = root
+		c.TLB.FlushAll()
+		c.Ctl.Cycles.Charge(cycles.TLBFlushFull)
+	}
+	c.TrustedContext = false
+	a.CR3Switch = c.Ctl.Cycles.Sub(start) / uint64(n)
+	return a, nil
+}
+
+// String renders the ablation.
+func (a GateAblation) String() string {
+	return fmt.Sprintf(
+		"Gate ablation (§4.1.3): CR3 switch %d cycles, WP toggle (type 1) %d cycles, add-mapping (type 3) %d cycles",
+		a.CR3Switch, a.WPToggle, a.AddMapping)
+}
+
+// NPTAblation compares eager (batched at boot, the paper's observation in
+// Section 4.3.4) against lazy NPT population for a protected guest.
+type NPTAblation struct {
+	EagerBoot    uint64 // domain-build cycles, eager
+	EagerRun     uint64 // workload cycles, eager
+	EagerNPF     uint64 // NPT violations during the run
+	LazyBoot     uint64
+	LazyRun      uint64
+	LazyNPF      uint64
+	WorkingPages int
+}
+
+// MeasureNPTAblation builds a protected guest both ways and touches its
+// working set.
+func MeasureNPTAblation(memPages int) (NPTAblation, error) {
+	run := func(lazy bool) (boot, runc, npf uint64, err error) {
+		m, err := xen.NewMachine(xen.Config{MemPages: 4096, CacheLines: 1024})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		x, err := xen.New(m)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if _, err := core.Enable(x); err != nil {
+			return 0, 0, 0, err
+		}
+		b0 := m.Ctl.Cycles.Total()
+		d, err := x.CreateDomain(xen.DomainConfig{Name: "npt", MemPages: memPages, Lazy: lazy})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		boot = m.Ctl.Cycles.Sub(b0)
+		r0 := m.Ctl.Cycles.Total()
+		x.StartVCPU(d, func(g *xen.GuestEnv) error {
+			var w [8]byte
+			for pg := 0; pg < memPages; pg++ {
+				if err := g.Read(uint64(pg)<<hw.PageShift, w[:]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err := x.Run(d); err != nil {
+			return 0, 0, 0, err
+		}
+		runc = m.Ctl.Cycles.Sub(r0)
+		npf = x.ExitCounts[cpu.ExitNPF]
+		return boot, runc, npf, nil
+	}
+	var a NPTAblation
+	a.WorkingPages = memPages
+	var err error
+	if a.EagerBoot, a.EagerRun, a.EagerNPF, err = run(false); err != nil {
+		return a, err
+	}
+	if a.LazyBoot, a.LazyRun, a.LazyNPF, err = run(true); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// String renders the ablation.
+func (a NPTAblation) String() string {
+	return fmt.Sprintf(
+		"NPT population ablation (§4.3.4), %d pages:\n"+
+			"  eager: boot %d cycles, run %d cycles, %d NPT violations\n"+
+			"  lazy:  boot %d cycles, run %d cycles, %d NPT violations",
+		a.WorkingPages, a.EagerBoot, a.EagerRun, a.EagerNPF,
+		a.LazyBoot, a.LazyRun, a.LazyNPF)
+}
+
+// ShadowVsTrap models the Section 5.1 design choice for the VMCB: shadow
+// it once per exit (Fidelius) versus strictly write-protecting it, which
+// would fault-and-gate on every hypervisor access.
+type ShadowVsTrap struct {
+	TouchesPerExit int
+	ShadowCost     uint64 // per exit
+	TrapCost       uint64 // per exit
+}
+
+// ModelShadowVsTrap computes the per-exit costs for a handler that reads
+// or writes the VMCB touches times.
+func ModelShadowVsTrap(touchesPerExit int) ShadowVsTrap {
+	return ShadowVsTrap{
+		TouchesPerExit: touchesPerExit,
+		ShadowCost:     cycles.ShadowCheck,
+		TrapCost:       uint64(touchesPerExit) * (cycles.NPTViolation + cycles.Gate1),
+	}
+}
+
+// String renders the model.
+func (s ShadowVsTrap) String() string {
+	return fmt.Sprintf(
+		"VMCB shadow-vs-trap model (§5.1): %d accesses/exit → shadow %d cycles, trap-per-access %d cycles",
+		s.TouchesPerExit, s.ShadowCost, s.TrapCost)
+}
+
+// PagingAblation compares guest memory access cost with paging disabled
+// (one-dimensional NPT walk) against paging enabled (full two-dimensional
+// GVA→GPA→HPA walk) — the nested-paging cost AMD-V trades for
+// hypervisor-transparent memory management.
+type PagingAblation struct {
+	FlatCycles   uint64 // per access, paging off
+	NestedCycles uint64 // per access, paging on
+	Accesses     int
+}
+
+// MeasurePagingAblation touches n distinct cold lines in both modes.
+func MeasurePagingAblation(n int) (PagingAblation, error) {
+	run := func(paging bool) (uint64, error) {
+		m, err := xen.NewMachine(xen.Config{MemPages: 4096, CacheLines: 16})
+		if err != nil {
+			return 0, err
+		}
+		x, err := xen.New(m)
+		if err != nil {
+			return 0, err
+		}
+		d, err := x.CreateDomain(xen.DomainConfig{Name: "pg", MemPages: 128, SEV: true})
+		if err != nil {
+			return 0, err
+		}
+		var total uint64
+		x.StartVCPU(d, func(g *xen.GuestEnv) error {
+			if paging {
+				root, err := g.BuildIdentityPT(nil)
+				if err != nil {
+					return err
+				}
+				g.EnablePaging(root)
+			}
+			var w [8]byte
+			start := g.Cycles()
+			for i := 0; i < n; i++ {
+				// Distinct pages defeat the guest TLB; a tiny cache
+				// keeps every access cold.
+				addr := uint64(16+(i%64)) << hw.PageShift
+				if err := g.Read(addr+uint64(i)*64%4096, w[:]); err != nil {
+					return err
+				}
+			}
+			total = g.Cycles() - start
+			return nil
+		})
+		if err := x.Run(d); err != nil {
+			return 0, err
+		}
+		return total / uint64(n), nil
+	}
+	var a PagingAblation
+	a.Accesses = n
+	var err error
+	if a.FlatCycles, err = run(false); err != nil {
+		return a, err
+	}
+	if a.NestedCycles, err = run(true); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// String renders the ablation.
+func (a PagingAblation) String() string {
+	return fmt.Sprintf("Guest paging ablation: flat %d cycles/access, nested %d cycles/access (n=%d)",
+		a.FlatCycles, a.NestedCycles, a.Accesses)
+}
+
+// MeasureFioSEVPath complements Table 3 with the SEV-API I/O path, so the
+// two protection mechanisms can be compared on the same workload.
+func MeasureFioSEVPath(pattern workload.FioPattern, totalSectors int) (base, sevRes workload.FioResult, err error) {
+	base, err = runFio(ConfigXen, pattern, totalSectors)
+	if err != nil {
+		return
+	}
+	sevRes, err = runFioSEV(pattern, totalSectors)
+	return
+}
+
+// runFioSEV runs one fio pattern on a fully protected SEV guest using the
+// SEV-API front-end.
+func runFioSEV(pattern workload.FioPattern, totalSectors int) (workload.FioResult, error) {
+	m, err := xen.NewMachine(xen.Config{MemPages: 4096, CacheLines: 1024})
+	if err != nil {
+		return workload.FioResult{}, err
+	}
+	x, err := xen.New(m)
+	if err != nil {
+		return workload.FioResult{}, err
+	}
+	f, err := core.Enable(x)
+	if err != nil {
+		return workload.FioResult{}, err
+	}
+	owner, err := sev.NewOwner()
+	if err != nil {
+		return workload.FioResult{}, err
+	}
+	pub, err := m.FW.PublicKey()
+	if err != nil {
+		return workload.FioResult{}, err
+	}
+	bundle, _, err := core.PrepareGuest(owner, pub, nil, nil)
+	if err != nil {
+		return workload.FioResult{}, err
+	}
+	d, err := f.LaunchVM("fio-sev", fioDomainPages, bundle)
+	if err != nil {
+		return workload.FioResult{}, err
+	}
+	if err := f.SetupIOSession(d); err != nil {
+		return workload.FioResult{}, err
+	}
+	dk := disk.New(fioRegionSectors + 64)
+	if _, err := f.AttachProtectedDisk(d, dk, fioDataPages, fioPort, nil); err != nil {
+		return workload.FioResult{}, err
+	}
+	if err := x.WriteStartInfo(d); err != nil {
+		return workload.FioResult{}, err
+	}
+	var res workload.FioResult
+	res.Config = "fidelius-sev-io"
+	open := func(g *xen.GuestEnv) (workload.BlockDev, error) {
+		bf, err := xen.NewBlockFrontend(g)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSEVFront(g, bf), nil
+	}
+	x.StartVCPU(d, workload.FioGuest(pattern, totalSectors, fioRegionSectors, open, &res))
+	if err := x.Run(d); err != nil {
+		return workload.FioResult{}, err
+	}
+	return res, nil
+}

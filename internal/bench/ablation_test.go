@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"fidelius/internal/workload"
+	"fidelius/internal/xen"
+)
+
+func TestGateAblation(t *testing.T) {
+	a, err := MeasureGateAblation(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's argument: the CR3-switch approach is far more
+	// expensive than both gates, which is why Fidelius avoids it.
+	if a.CR3Switch < 5*a.WPToggle {
+		t.Errorf("CR3 switch (%d) should dwarf the WP toggle (%d)", a.CR3Switch, a.WPToggle)
+	}
+	if a.WPToggle != 306 || a.AddMapping != 339 {
+		t.Errorf("gate costs %d/%d, want 306/339", a.WPToggle, a.AddMapping)
+	}
+	if !strings.Contains(a.String(), "CR3 switch") {
+		t.Error("ablation string")
+	}
+}
+
+func TestNPTAblation(t *testing.T) {
+	a, err := MeasureNPTAblation(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eager population does the work at boot, batched: no runtime NPT
+	// violations. Lazy pays one violation (plus gates) per touched page.
+	if a.EagerNPF != 0 {
+		t.Errorf("eager population took %d NPT violations at runtime, want 0", a.EagerNPF)
+	}
+	if a.LazyNPF < uint64(a.WorkingPages) {
+		t.Errorf("lazy population took %d NPT violations, want >= %d", a.LazyNPF, a.WorkingPages)
+	}
+	if a.LazyRun <= a.EagerRun {
+		t.Errorf("lazy runtime (%d) should exceed eager runtime (%d)", a.LazyRun, a.EagerRun)
+	}
+	if a.EagerBoot <= a.LazyBoot {
+		t.Errorf("eager boot (%d) should exceed lazy boot (%d)", a.EagerBoot, a.LazyBoot)
+	}
+	if !strings.Contains(a.String(), "eager") {
+		t.Error("ablation string")
+	}
+}
+
+func TestShadowVsTrapModel(t *testing.T) {
+	// With even a handful of VMCB accesses per exit, trapping each one
+	// costs more than shadowing once — the paper's §5.1 rationale.
+	m := ModelShadowVsTrap(5)
+	if m.TrapCost <= m.ShadowCost {
+		t.Errorf("trap (%d) should exceed shadow (%d) at 5 accesses/exit", m.TrapCost, m.ShadowCost)
+	}
+	// At zero accesses trapping is free; the crossover exists.
+	if z := ModelShadowVsTrap(0); z.TrapCost != 0 {
+		t.Error("zero accesses should cost nothing under trapping")
+	}
+	if !strings.Contains(m.String(), "shadow") {
+		t.Error("model string")
+	}
+}
+
+func TestFioSEVPath(t *testing.T) {
+	base, sevRes, err := MeasureFioSEVPath(workload.SeqWrite, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := sevRes.Slowdown(base)
+	// The SEV path adds firmware-command latency per request; it should
+	// cost something but stay moderate on sequential writes.
+	if slow < 0 || slow > 60 {
+		t.Errorf("SEV I/O path slowdown %.2f%%, want a moderate positive value", slow)
+	}
+}
+
+func TestPagingAblation(t *testing.T) {
+	a, err := MeasurePagingAblation(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NestedCycles <= a.FlatCycles {
+		t.Fatalf("nested walk (%d) should cost more than flat (%d)", a.NestedCycles, a.FlatCycles)
+	}
+}
+
+func TestSchedulerCycleAttribution(t *testing.T) {
+	p, err := NewPlatform(ConfigXen, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := p.D
+	heavy, err := p.X.CreateDomain(xen.DomainConfig{Name: "heavy", MemPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.X.StartVCPU(light, func(g *xen.GuestEnv) error {
+		g.Charge(1_000)
+		_, err := g.Hypercall(xen.HCVoid)
+		return err
+	})
+	p.X.StartVCPU(heavy, func(g *xen.GuestEnv) error {
+		g.Charge(900_000)
+		_, err := g.Hypercall(xen.HCVoid)
+		return err
+	})
+	if errs := p.X.Schedule([]*xen.Domain{light, heavy}); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if p.X.CycleAccount[heavy.ID] < 5*p.X.CycleAccount[light.ID] {
+		t.Fatalf("attribution wrong: heavy=%d light=%d",
+			p.X.CycleAccount[heavy.ID], p.X.CycleAccount[light.ID])
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	rows := []FigRow{{Name: "mcf", Fid: 0.8, Enc: 17.6, PaperFid: 0.9, PaperEnc: 17.3}}
+	var fig strings.Builder
+	if err := WriteFigureCSV(&fig, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig.String(), "mcf,0.800,17.600,0.900,17.300") {
+		t.Fatalf("figure csv:\n%s", fig.String())
+	}
+	if !strings.Contains(fig.String(), "average") {
+		t.Fatal("average row missing")
+	}
+	fio := []FioRow{{Pattern: workload.SeqRead, BaseCycles: 8000, FidCycles: 9600, Slowdown: 20, PaperSlowdown: 22.91}}
+	var tbl strings.Builder
+	if err := WriteFioCSV(&tbl, fio); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "seq-read,8000.0,9600.0,20.000,22.910") {
+		t.Fatalf("fio csv:\n%s", tbl.String())
+	}
+	if len(FioPatterns) != 4 {
+		t.Fatal("pattern list")
+	}
+}

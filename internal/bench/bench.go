@@ -1,0 +1,353 @@
+// Package bench is the evaluation harness: it reproduces every table and
+// figure of the paper's Section 7 on the simulated platform, comparing the
+// three configurations of the paper — original Xen, Fidelius (protection
+// without memory encryption), and Fidelius-enc (protection with SME-based
+// encryption of all guest memory).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"fidelius/internal/core"
+	"fidelius/internal/cycles"
+	"fidelius/internal/disk"
+	"fidelius/internal/workload"
+	"fidelius/internal/xen"
+)
+
+// Configuration names.
+const (
+	ConfigXen         = "xen"
+	ConfigFidelius    = "fidelius"
+	ConfigFideliusEnc = "fidelius-enc"
+)
+
+// Configs lists the evaluated configurations in presentation order.
+var Configs = []string{ConfigXen, ConfigFidelius, ConfigFideliusEnc}
+
+// Platform is one booted benchmark machine with a workload domain.
+type Platform struct {
+	X *xen.Xen
+	F *core.Fidelius // nil for ConfigXen
+	D *xen.Domain
+}
+
+// NewPlatform boots a machine in the named configuration with one
+// (non-SEV, per the paper's SME-based methodology) workload domain.
+func NewPlatform(config string, memPages int) (*Platform, error) {
+	m, err := xen.NewMachine(xen.Config{MemPages: 4096, CacheLines: 1024})
+	if err != nil {
+		return nil, err
+	}
+	x, err := xen.New(m)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{X: x}
+	if config != ConfigXen {
+		if p.F, err = core.Enable(x); err != nil {
+			return nil, err
+		}
+	}
+	p.D, err = x.CreateDomain(xen.DomainConfig{Name: "bench", MemPages: memPages})
+	if err != nil {
+		return nil, err
+	}
+	if config == ConfigFideliusEnc {
+		// Set the C-bits in the nested page tables (Section 7.1's
+		// methodology): all subsequent guest memory traffic is
+		// encrypted by the SME engine.
+		if err := x.Interpose.EnableSME(p.D); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// FigRow is one benchmark's overhead row for Figures 5 and 6.
+type FigRow struct {
+	Name     string
+	Fid      float64 // measured Fidelius overhead (%)
+	Enc      float64 // measured Fidelius-enc overhead (%)
+	PaperFid float64
+	PaperEnc float64
+}
+
+// runSuite measures one suite's overheads across the three configurations.
+func runSuite(profiles []workload.Profile, iters int) ([]FigRow, error) {
+	var rows []FigRow
+	for _, prof := range profiles {
+		var results [3]workload.Result
+		for i, cfg := range Configs {
+			p, err := NewPlatform(cfg, workload.GuestMemPages)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", prof.Name, cfg, err)
+			}
+			results[i], err = workload.Run(p.X, p.D, prof, iters)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", prof.Name, cfg, err)
+			}
+		}
+		rows = append(rows, FigRow{
+			Name:     prof.Name,
+			Fid:      results[1].Overhead(results[0]),
+			Enc:      results[2].Overhead(results[0]),
+			PaperFid: prof.PaperFid,
+			PaperEnc: prof.PaperEnc,
+		})
+	}
+	return rows, nil
+}
+
+// Figure5 reproduces the SPEC CPU 2006 overhead figure.
+func Figure5(iters int) ([]FigRow, error) { return runSuite(workload.SPEC(), iters) }
+
+// Figure6 reproduces the PARSEC overhead figure.
+func Figure6(iters int) ([]FigRow, error) { return runSuite(workload.PARSEC(), iters) }
+
+// Average appends the arithmetic-mean row, as the figures print it.
+func Average(rows []FigRow) FigRow {
+	var avg FigRow
+	avg.Name = "average"
+	for _, r := range rows {
+		avg.Fid += r.Fid
+		avg.Enc += r.Enc
+		avg.PaperFid += r.PaperFid
+		avg.PaperEnc += r.PaperEnc
+	}
+	n := float64(len(rows))
+	avg.Fid /= n
+	avg.Enc /= n
+	avg.PaperFid /= n
+	avg.PaperEnc /= n
+	return avg
+}
+
+// FormatFigure renders a figure's rows as a table.
+func FormatFigure(title string, rows []FigRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %12s %12s %14s %14s\n", "benchmark", "fidelius(%)", "fid-enc(%)", "paper fid(%)", "paper enc(%)")
+	all := append(append([]FigRow{}, rows...), Average(rows))
+	for _, r := range all {
+		fmt.Fprintf(&b, "%-14s %12.2f %12.2f %14.2f %14.2f\n", r.Name, r.Fid, r.Enc, r.PaperFid, r.PaperEnc)
+	}
+	return b.String()
+}
+
+// FioRow is one Table 3 row.
+type FioRow struct {
+	Pattern       workload.FioPattern
+	BaseCycles    float64 // per sector, original Xen
+	FidCycles     float64 // per sector, Fidelius AES-NI
+	Slowdown      float64 // percent
+	PaperSlowdown float64
+}
+
+const (
+	fioRegionSectors = 192
+	fioDomainPages   = 64
+	fioDataPages     = 2
+	fioPort          = 1
+)
+
+// fioKblk is the benchmark's fixed block key.
+var fioKblk = func() [32]byte {
+	var k [32]byte
+	copy(k[:], "fidelius-benchmark-block-key-000")
+	return k
+}()
+
+// runFio executes one pattern under one configuration.
+func runFio(config string, pattern workload.FioPattern, totalSectors int) (workload.FioResult, error) {
+	p, err := NewPlatform(config, fioDomainPages)
+	if err != nil {
+		return workload.FioResult{}, err
+	}
+	dk := disk.New(fioRegionSectors + 64)
+	if config == ConfigXen {
+		if _, err := p.X.AttachBlockDevice(p.D, dk, fioDataPages, fioPort); err != nil {
+			return workload.FioResult{}, err
+		}
+	} else {
+		if _, err := p.F.AttachProtectedDisk(p.D, dk, fioDataPages, fioPort, nil); err != nil {
+			return workload.FioResult{}, err
+		}
+	}
+	if err := p.X.WriteStartInfo(p.D); err != nil {
+		return workload.FioResult{}, err
+	}
+	var res workload.FioResult
+	res.Config = config
+	open := func(g *xen.GuestEnv) (workload.BlockDev, error) {
+		bf, err := xen.NewBlockFrontend(g)
+		if err != nil {
+			return nil, err
+		}
+		if config == ConfigXen {
+			return bf, nil
+		}
+		return core.NewAESNIFront(g, bf, fioKblk)
+	}
+	p.X.StartVCPU(p.D, workload.FioGuest(pattern, totalSectors, fioRegionSectors, open, &res))
+	if err := p.X.Run(p.D); err != nil {
+		return workload.FioResult{}, err
+	}
+	return res, nil
+}
+
+// Table3 reproduces the fio comparison: original Xen vs Fidelius with
+// AES-NI I/O protection, across the four patterns.
+func Table3(totalSectors int) ([]FioRow, error) {
+	var rows []FioRow
+	for _, pat := range []workload.FioPattern{RandReadPattern, SeqReadPattern, RandWritePattern, SeqWritePattern} {
+		base, err := runFio(ConfigXen, pat, totalSectors)
+		if err != nil {
+			return nil, fmt.Errorf("fio %v/xen: %w", pat, err)
+		}
+		fid, err := runFio(ConfigFidelius, pat, totalSectors)
+		if err != nil {
+			return nil, fmt.Errorf("fio %v/fidelius: %w", pat, err)
+		}
+		rows = append(rows, FioRow{
+			Pattern:       pat,
+			BaseCycles:    base.CyclesPerSector(),
+			FidCycles:     fid.CyclesPerSector(),
+			Slowdown:      fid.Slowdown(base),
+			PaperSlowdown: pat.PaperSlowdown(),
+		})
+	}
+	return rows, nil
+}
+
+// Pattern aliases in Table 3's row order.
+const (
+	RandReadPattern  = workload.RandRead
+	SeqReadPattern   = workload.SeqRead
+	RandWritePattern = workload.RandWrite
+	SeqWritePattern  = workload.SeqWrite
+)
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []FioRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: fio — Xen vs Fidelius AES-NI\n")
+	fmt.Fprintf(&b, "%-12s %16s %16s %12s %14s\n", "operation", "xen (cyc/sec)", "fid (cyc/sec)", "slowdown(%)", "paper(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %16.0f %16.0f %12.2f %14.2f\n", r.Pattern, r.BaseCycles, r.FidCycles, r.Slowdown, r.PaperSlowdown)
+	}
+	return b.String()
+}
+
+// MicroGates holds the gate-cost micro-benchmark (Section 7.2, question 1).
+type MicroGates struct {
+	Gate1, Gate2, Gate3          uint64
+	PaperG1, PaperG2, PaperG3    uint64
+	Gate3TLBFlush, Gate3CacheWrt uint64
+}
+
+// MicroBenchGates measures the three gate transition costs.
+func MicroBenchGates(n int) (MicroGates, error) {
+	p, err := NewPlatform(ConfigFidelius, 16)
+	if err != nil {
+		return MicroGates{}, err
+	}
+	flush, wrt := core.GateCostBreakdown()
+	return MicroGates{
+		Gate1:         p.F.BenchGate1(n),
+		Gate2:         p.F.BenchGate2(n),
+		Gate3:         p.F.BenchGate3(n),
+		PaperG1:       306,
+		PaperG2:       16,
+		PaperG3:       339,
+		Gate3TLBFlush: flush,
+		Gate3CacheWrt: wrt,
+	}, nil
+}
+
+// MicroShadow holds the shadowing micro-benchmark (question 2): void
+// hypercall round trips under both configurations.
+type MicroShadow struct {
+	XenRT      uint64 // cycles per void hypercall round trip, Xen
+	FideliusRT uint64 // same under Fidelius
+	Shadow     uint64 // attributable to shadow-and-check
+	Paper      uint64 // 661
+}
+
+// MicroBenchShadow measures the void-hypercall round trip in both
+// configurations; the shadowing cost is the difference minus the type 3
+// gate on the re-entry path.
+func MicroBenchShadow(n int) (MicroShadow, error) {
+	rt := func(config string) (uint64, error) {
+		p, err := NewPlatform(config, 16)
+		if err != nil {
+			return 0, err
+		}
+		var total uint64
+		p.X.StartVCPU(p.D, func(g *xen.GuestEnv) error {
+			start := g.Cycles()
+			for i := 0; i < n; i++ {
+				if _, err := g.Hypercall(xen.HCVoid); err != nil {
+					return err
+				}
+			}
+			total = g.Cycles() - start
+			return nil
+		})
+		if err := p.X.Run(p.D); err != nil {
+			return 0, err
+		}
+		return total / uint64(n), nil
+	}
+	xenRT, err := rt(ConfigXen)
+	if err != nil {
+		return MicroShadow{}, err
+	}
+	fidRT, err := rt(ConfigFidelius)
+	if err != nil {
+		return MicroShadow{}, err
+	}
+	return MicroShadow{
+		XenRT:      xenRT,
+		FideliusRT: fidRT,
+		Shadow:     fidRT - xenRT - cycles.Gate3,
+		Paper:      661,
+	}, nil
+}
+
+// MicroIOCrypt holds the bulk-copy encryption comparison (question 3):
+// slowdown of a large in-guest memory copy under the three encryption
+// techniques.
+type MicroIOCrypt struct {
+	AESNISlowdown float64 // percent; paper: 11.49
+	SEVSlowdown   float64 // percent; paper: 8.69 (SME)
+	SoftwareRatio float64 // x over plain copy; paper: >20x overhead
+}
+
+// MicroBenchIOCrypt models copying nBytes of guest memory under each
+// encryption technique at streaming throughput.
+func MicroBenchIOCrypt(nBytes int) MicroIOCrypt {
+	blocks := uint64(nBytes / 16)
+	var c cycles.Counter
+	run := func(perBlockEnc uint64) uint64 {
+		c.Reset()
+		for b := uint64(0); b < blocks; b += 4096 {
+			n := blocks - b
+			if n > 4096 {
+				n = 4096
+			}
+			c.Charge(n * (cycles.CopyBlock + perBlockEnc))
+		}
+		return c.Total()
+	}
+	plain := run(0)
+	aesni := run(cycles.EncAESNI)
+	sev := run(cycles.EncSEVTput)
+	sw := run(cycles.EncSoftware)
+	return MicroIOCrypt{
+		AESNISlowdown: 100 * float64(aesni-plain) / float64(plain),
+		SEVSlowdown:   100 * float64(sev-plain) / float64(plain),
+		SoftwareRatio: float64(sw-plain) / float64(plain),
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"fidelius/internal/workload"
+)
+
+// CSV export, so the figure data can be re-plotted outside Go.
+
+// WriteFigureCSV streams a figure's rows (plus the average) as CSV.
+func WriteFigureCSV(w io.Writer, rows []FigRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "fidelius_pct", "fidelius_enc_pct", "paper_fid_pct", "paper_enc_pct"}); err != nil {
+		return err
+	}
+	all := append(append([]FigRow{}, rows...), Average(rows))
+	for _, r := range all {
+		rec := []string{
+			r.Name,
+			fmt.Sprintf("%.3f", r.Fid),
+			fmt.Sprintf("%.3f", r.Enc),
+			fmt.Sprintf("%.3f", r.PaperFid),
+			fmt.Sprintf("%.3f", r.PaperEnc),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFioCSV streams Table 3 as CSV.
+func WriteFioCSV(w io.Writer, rows []FioRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"operation", "xen_cycles_per_sector", "fidelius_cycles_per_sector", "slowdown_pct", "paper_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Pattern.String(),
+			fmt.Sprintf("%.1f", r.BaseCycles),
+			fmt.Sprintf("%.1f", r.FidCycles),
+			fmt.Sprintf("%.3f", r.Slowdown),
+			fmt.Sprintf("%.3f", r.PaperSlowdown),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FioPatterns lists Table 3's patterns in row order, for callers driving
+// runFio themselves.
+var FioPatterns = []workload.FioPattern{
+	workload.RandRead, workload.SeqRead, workload.RandWrite, workload.SeqWrite,
+}

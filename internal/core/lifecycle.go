@@ -1,0 +1,350 @@
+package core
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"fidelius/internal/disk"
+	"fidelius/internal/sev"
+	"fidelius/internal/xen"
+)
+
+// GuestBundle is everything the guest owner prepares offline and hands to
+// the platform (Section 4.3.2): the encrypted kernel image produced with
+// the SEND APIs, the wrapped transport keys Kwrap, the owner's public
+// ECDH key and nonce Nvm, and the Kblk-encrypted disk image. Kblk itself
+// is embedded in the encrypted kernel image and never visible to the
+// hypervisor.
+type GuestBundle struct {
+	Image    *sev.EncryptedImage
+	Kwrap    sev.WrappedKeys
+	OwnerPub *ecdh.PublicKey
+	Nonce    []byte
+	// DiskImage is the Kblk-encrypted disk content, mounted by the
+	// backend at bootup.
+	DiskImage []byte
+}
+
+// KblkOffset is where the owner embeds the 32-byte Kblk inside the first
+// kernel page. The guest kernel reads it from its (decrypted) memory at
+// boot; the hypervisor only ever sees the encrypted image.
+const KblkOffset = 64
+
+// PrepareGuest is the owner-side helper: it builds the kernel image with
+// Kblk embedded, encrypts the disk image under Kblk, and runs the SEND
+// protocol against the target platform's public key.
+func PrepareGuest(owner *sev.Owner, platformPub *ecdh.PublicKey, kernel, diskPlain []byte) (*GuestBundle, [32]byte, error) {
+	var kblk [32]byte
+	if _, err := io.ReadFull(rand.Reader, kblk[:]); err != nil {
+		return nil, kblk, err
+	}
+	if len(kernel) < KblkOffset+32 {
+		padded := make([]byte, KblkOffset+32)
+		copy(padded, kernel)
+		kernel = padded
+	}
+	kernel = append([]byte{}, kernel...)
+	copy(kernel[KblkOffset:], kblk[:])
+
+	img, kwrap, err := owner.PrepareImage(platformPub, kernel)
+	if err != nil {
+		return nil, kblk, err
+	}
+	ic, err := disk.NewImageCipher(kblk)
+	if err != nil {
+		return nil, kblk, err
+	}
+	encDisk, err := ic.EncryptImage(diskPlain)
+	if err != nil {
+		return nil, kblk, err
+	}
+	return &GuestBundle{
+		Image:     img,
+		Kwrap:     kwrap,
+		OwnerPub:  owner.PublicKey(),
+		Nonce:     owner.Nonce(),
+		DiskImage: encDisk,
+	}, kblk, nil
+}
+
+// LaunchVM boots a protected VM from an encrypted kernel image (Section
+// 4.3.3): RECEIVE_START unwraps the transport keys and creates the guest
+// context, RECEIVE_UPDATE re-encrypts each loaded page in place with the
+// fresh Kvek, RECEIVE_FINISH verifies the measurement against Mvm, and
+// ACTIVATE installs the key. The hypervisor only ever handles ciphertext.
+func (f *Fidelius) LaunchVM(name string, memPages int, b *GuestBundle) (*xen.Domain, error) {
+	defer f.enterTrusted()()
+	if b.Image.NumPages() > memPages {
+		return nil, fmt.Errorf("core: kernel image (%d pages) exceeds VM memory", b.Image.NumPages())
+	}
+	d, err := f.X.CreateDomain(xen.DomainConfig{
+		Name:        name,
+		MemPages:    memPages,
+		SEV:         true,
+		ExternalSEV: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, err := f.M.FW.ReceiveStart(b.Kwrap, b.OwnerPub, b.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	// The hypervisor loads the encrypted image; Fidelius has the
+	// firmware re-encrypt it in place with Kvek. Kernel pages occupy the
+	// top of guest memory, clear of the shared I/O window.
+	base := uint64(memPages - b.Image.NumPages())
+	for i, pkt := range b.Image.Pages {
+		pfn, ok := d.GPAFrame(base + uint64(i))
+		if !ok {
+			return nil, fmt.Errorf("core: kernel gfn %d unbacked", base+uint64(i))
+		}
+		if err := f.M.FW.ReceiveUpdate(h, pfn, pkt); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.M.FW.ReceiveFinish(h, b.Image.Measurement); err != nil {
+		return nil, err
+	}
+	if err := f.M.FW.Activate(h, d.ASID); err != nil {
+		return nil, err
+	}
+	f.vms[d.ID] = &VMState{Dom: d, Handle: h}
+	return d, nil
+}
+
+// KernelBase returns the guest frame where the kernel image of a
+// protected VM was loaded.
+func (f *Fidelius) KernelBase(d *xen.Domain, b *GuestBundle) uint64 {
+	return uint64(d.MemPages - b.Image.NumPages())
+}
+
+// SetupIOSession creates the s-dom and r-dom helper contexts for the
+// SEV-based I/O protection (Section 4.3.5): both share the guest's Kvek;
+// the s-dom is put in sending state and the r-dom in receiving state with
+// a common transport key agreed platform-to-itself.
+func (f *Fidelius) SetupIOSession(d *xen.Domain) error {
+	defer f.enterTrusted()()
+	st := f.vms[d.ID]
+	if st == nil {
+		return fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
+	}
+	if st.IOSessionReady {
+		return nil
+	}
+	selfPub, err := f.M.FW.PublicKey()
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, 16)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return err
+	}
+	sdom, err := f.M.FW.LaunchHelper(st.Handle)
+	if err != nil {
+		return err
+	}
+	kwrap, err := f.M.FW.SendStart(sdom, selfPub, nonce)
+	if err != nil {
+		return err
+	}
+	rdom, err := f.M.FW.ReceiveHelperStart(st.Handle, kwrap, selfPub, nonce)
+	if err != nil {
+		return err
+	}
+	st.SDom, st.RDom = sdom, rdom
+	st.IOSessionReady = true
+	return nil
+}
+
+// AttachProtectedDisk declares the shared I/O pages in the GIT (on behalf
+// of the guest's front-end driver), attaches the block device, and loads
+// the owner's encrypted disk image onto it.
+func (f *Fidelius) AttachProtectedDisk(d *xen.Domain, dk *disk.Disk, dataPages int, port uint32, b *GuestBundle) (*xen.BlockBackend, error) {
+	gk := f.X.Interpose.(*Gatekeeper)
+	// Ring page + data pages are shared with dom0 read-write.
+	if err := gk.PreSharing(d.ID, xen.Dom0, xen.BlkRingGFN, uint64(dataPages)+1, 0); err != nil {
+		return nil, err
+	}
+	backend, err := f.X.AttachBlockDevice(d, dk, dataPages, port)
+	if err != nil {
+		return nil, err
+	}
+	if b != nil {
+		for lba := 0; lba*disk.SectorSize < len(b.DiskImage); lba++ {
+			if err := dk.WriteSector(uint64(lba), b.DiskImage[lba*disk.SectorSize:]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return backend, nil
+}
+
+// ShutdownVM terminates a protected VM (Section 4.3.8): DEACTIVATE
+// disengages the ASID and uninstalls the key, DECOMMISSION erases the
+// firmware contexts (including the I/O helpers), and domain teardown
+// scrubs the PIT and GIT through the DomainDestroyed hook.
+func (f *Fidelius) ShutdownVM(d *xen.Domain) error {
+	defer f.enterTrusted()()
+	st := f.vms[d.ID]
+	if st == nil {
+		return fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
+	}
+	if err := f.M.FW.Deactivate(st.Handle); err != nil {
+		return err
+	}
+	if err := f.M.FW.Decommission(st.Handle); err != nil {
+		return err
+	}
+	if st.IOSessionReady {
+		for _, h := range []sev.Handle{st.SDom, st.RDom} {
+			if err := f.M.FW.Deactivate(h); err != nil {
+				return err
+			}
+			if err := f.M.FW.Decommission(h); err != nil {
+				return err
+			}
+		}
+	}
+	return f.X.DestroyDomain(d, true)
+}
+
+// MigrationBundle is an offline VM snapshot in transit: transport packets
+// for every guest page plus the measurement, produced by the SEND APIs
+// and consumed by RECEIVE on the target (Section 4.3.6).
+type MigrationBundle struct {
+	Name     string
+	MemPages int
+	Kwrap    sev.WrappedKeys
+	Nonce    []byte
+	Packets  []sev.Packet
+	Mvm      sev.Measurement
+}
+
+// MigrateOut snapshots a (stopped) protected VM for the target platform
+// identified by targetPub. SEND_START moves the guest to the sending
+// state, which stops execution — Fidelius does not support live
+// migration, exactly as the paper notes.
+func (f *Fidelius) MigrateOut(d *xen.Domain, targetPub *ecdh.PublicKey) (*MigrationBundle, error) {
+	defer f.enterTrusted()()
+	st := f.vms[d.ID]
+	if st == nil {
+		return nil, fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
+	}
+	nonce := make([]byte, 16)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	kwrap, err := f.M.FW.SendStart(st.Handle, targetPub, nonce)
+	if err != nil {
+		return nil, err
+	}
+	bundle := &MigrationBundle{
+		Name:     d.Name,
+		MemPages: d.MemPages,
+		Kwrap:    kwrap,
+		Nonce:    nonce,
+	}
+	for gfn := uint64(0); gfn < uint64(d.MemPages); gfn++ {
+		pfn, ok := d.GPAFrame(gfn)
+		if !ok {
+			continue
+		}
+		pkt, err := f.M.FW.SendUpdate(st.Handle, pfn)
+		if err != nil {
+			return nil, err
+		}
+		bundle.Packets = append(bundle.Packets, pkt)
+	}
+	bundle.Mvm, err = f.M.FW.SendFinish(st.Handle)
+	if err != nil {
+		return nil, err
+	}
+	return bundle, nil
+}
+
+// MigrateIn materialises a migrated VM on this platform: a fresh domain
+// and Kvek, RECEIVE of every page, measurement verification, activation.
+// originPub is the source platform's public key.
+func (f *Fidelius) MigrateIn(bundle *MigrationBundle, originPub *ecdh.PublicKey) (*xen.Domain, error) {
+	defer f.enterTrusted()()
+	d, err := f.X.CreateDomain(xen.DomainConfig{
+		Name:        bundle.Name,
+		MemPages:    bundle.MemPages,
+		SEV:         true,
+		ExternalSEV: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, err := f.M.FW.ReceiveStart(bundle.Kwrap, originPub, bundle.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	for i, pkt := range bundle.Packets {
+		pfn, ok := d.GPAFrame(uint64(i))
+		if !ok {
+			return nil, fmt.Errorf("core: migration gfn %d unbacked", i)
+		}
+		if err := f.M.FW.ReceiveUpdate(h, pfn, pkt); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.M.FW.ReceiveFinish(h, bundle.Mvm); err != nil {
+		return nil, err
+	}
+	if err := f.M.FW.Activate(h, d.ASID); err != nil {
+		return nil, err
+	}
+	f.vms[d.ID] = &VMState{Dom: d, Handle: h}
+	return d, nil
+}
+
+// Attest produces a signed platform quote over the hypervisor-code
+// measurement taken at Enable time and the current integrity-tree root
+// (zero when the Section 8 engine is off), bound to the verifier's nonce
+// (Section 4.3.1's remote attestation).
+func (f *Fidelius) Attest(nonce []byte) (*sev.Quote, error) {
+	defer f.enterTrusted()()
+	var root [32]byte
+	if f.M.Ctl.Integ != nil {
+		root = f.M.Ctl.Integ.Root()
+	}
+	return f.M.FW.Attest(nonce, f.HypervisorMeasurement, root)
+}
+
+// SnapshotVM captures a stopped protected VM as an encrypted bundle the
+// same platform can later restore — the snapshot/restore interface the
+// paper notes SEV already provides (Section 4.3.6). It is migration to
+// self: the transport keys wrap under the platform's own identity.
+func (f *Fidelius) SnapshotVM(d *xen.Domain) (*MigrationBundle, error) {
+	selfPub, err := func() (pub *ecdh.PublicKey, err error) {
+		defer f.enterTrusted()()
+		return f.M.FW.PublicKey()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return f.MigrateOut(d, selfPub)
+}
+
+// RestoreVM materialises a snapshot taken on this platform.
+func (f *Fidelius) RestoreVM(bundle *MigrationBundle) (*xen.Domain, error) {
+	selfPub, err := func() (pub *ecdh.PublicKey, err error) {
+		defer f.enterTrusted()()
+		return f.M.FW.PublicKey()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return f.MigrateIn(bundle, selfPub)
+}
+
+// PreShare lets trusted tooling declare a sharing on behalf of a guest
+// (the guest itself uses the pre_sharing_op hypercall).
+func (f *Fidelius) PreShare(initiator, target xen.DomID, gfn, count, flags uint64) error {
+	gk := f.X.Interpose.(*Gatekeeper)
+	return gk.PreSharing(initiator, target, gfn, count, flags)
+}

@@ -1,0 +1,172 @@
+// Package core implements Fidelius itself: the trusted context that lies
+// in the same privilege level as the hypervisor but is isolated from it by
+// non-bypassable memory protection.
+//
+// The package provides, following the paper's design (Sections 4 and 5):
+//
+//   - the page information table (PIT) and grant information table (GIT),
+//     stored in dedicated physical pages mapped read-only to the
+//     hypervisor;
+//   - the three gate types securing transitions between the isolated
+//     contexts;
+//   - VMCB and register shadowing with exit-reason-classified policies (a
+//     software SEV-ES);
+//   - the policy set of Table 2 for privileged instructions, plus
+//     write-once, execute-once and write-forbidding policies;
+//   - the full VM life-cycle: encrypted boot via the SEND/RECEIVE API,
+//     runtime memory and I/O protection, migration, secure memory
+//     sharing, and shutdown.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fidelius/internal/hw"
+	"fidelius/internal/xen"
+)
+
+// PIT entry bit layout (32 bits, Section 5.2): usage in bits 0-3, valid in
+// bit 4, owner domain in bits 5-17, ASID in bits 18-31.
+const (
+	pitUsageMask  = 0xF
+	pitValidBit   = 1 << 4
+	pitOwnerShift = 5
+	pitOwnerMask  = 0x1FFF
+	pitASIDShift  = 18
+	pitASIDMask   = 0x3FFF
+)
+
+// PITEntry is one 32-bit page information record.
+type PITEntry uint32
+
+// MakePITEntry builds a valid entry.
+func MakePITEntry(use xen.PageUse, owner xen.DomID, asid hw.ASID) PITEntry {
+	return PITEntry(uint32(use)&pitUsageMask | pitValidBit |
+		(uint32(owner)&pitOwnerMask)<<pitOwnerShift |
+		(uint32(asid)&pitASIDMask)<<pitASIDShift)
+}
+
+// Valid reports whether the entry is populated.
+func (e PITEntry) Valid() bool { return e&pitValidBit != 0 }
+
+// Use reports the page usage.
+func (e PITEntry) Use() xen.PageUse { return xen.PageUse(e & pitUsageMask) }
+
+// Owner reports the owning domain.
+func (e PITEntry) Owner() xen.DomID { return xen.DomID(uint32(e) >> pitOwnerShift & pitOwnerMask) }
+
+// ASID reports the recorded ASID.
+func (e PITEntry) ASID() hw.ASID { return hw.ASID(uint32(e) >> pitASIDShift & pitASIDMask) }
+
+func (e PITEntry) String() string {
+	if !e.Valid() {
+		return "<invalid>"
+	}
+	return fmt.Sprintf("%v owner=%d asid=%d", e.Use(), e.Owner(), e.ASID())
+}
+
+// pitEntriesPerPage is the 1024 PFNs per 4 KiB leaf page of the paper.
+const pitEntriesPerPage = hw.PageSize / 4
+
+// PIT is the page information table: a radix tree over physical frame
+// numbers whose leaf pages hold 1024 32-bit entries each. The table lives
+// in Fidelius-owned physical pages (mapped read-only in the hypervisor's
+// address space), and — as the paper describes — links levels by frame
+// number within the direct map so walks need no extra translation.
+type PIT struct {
+	ctl   *hw.Controller
+	alloc *xen.FrameAlloc
+	// root maps pfn>>10 to the leaf page for that 1024-frame group; the
+	// root itself is a single page of 32-bit leaf-page frame numbers,
+	// enough for 4M frames (16 GiB).
+	rootPFN hw.PFN
+	// Pages lists every page backing the PIT, for protection.
+	Pages []hw.PFN
+}
+
+// NewPIT allocates the root page.
+func NewPIT(ctl *hw.Controller, alloc *xen.FrameAlloc) (*PIT, error) {
+	root, err := alloc.Alloc(xen.UseFidelius, 0)
+	if err != nil {
+		return nil, err
+	}
+	var zero [hw.PageSize]byte
+	if err := ctl.Mem.WriteRaw(root.Addr(), zero[:]); err != nil {
+		return nil, err
+	}
+	ctl.Cache.Invalidate(root.Addr(), hw.PageSize)
+	return &PIT{ctl: ctl, alloc: alloc, rootPFN: root, Pages: []hw.PFN{root}}, nil
+}
+
+func (p *PIT) read32(pa hw.PhysAddr) (uint32, error) {
+	var b [4]byte
+	if err := p.ctl.Read(hw.Access{PA: pa}, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (p *PIT) write32(pa hw.PhysAddr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return p.ctl.Write(hw.Access{PA: pa}, b[:])
+}
+
+// leafFor finds (allocating if asked) the leaf page covering pfn.
+func (p *PIT) leafFor(pfn hw.PFN, create bool) (hw.PFN, error) {
+	group := uint64(pfn) >> 10
+	if group >= hw.PageSize/4 {
+		return 0, fmt.Errorf("core: pfn %#x beyond PIT coverage", uint64(pfn))
+	}
+	slot := p.rootPFN.Addr() + hw.PhysAddr(group*4)
+	v, err := p.read32(slot)
+	if err != nil {
+		return 0, err
+	}
+	if v != 0 {
+		return hw.PFN(v), nil
+	}
+	if !create {
+		return 0, nil
+	}
+	leaf, err := p.alloc.Alloc(xen.UseFidelius, 0)
+	if err != nil {
+		return 0, err
+	}
+	var zero [hw.PageSize]byte
+	if err := p.ctl.Mem.WriteRaw(leaf.Addr(), zero[:]); err != nil {
+		return 0, err
+	}
+	p.ctl.Cache.Invalidate(leaf.Addr(), hw.PageSize)
+	p.Pages = append(p.Pages, leaf)
+	if err := p.write32(slot, uint32(leaf)); err != nil {
+		return 0, err
+	}
+	return leaf, nil
+}
+
+// Set records the entry for a frame.
+func (p *PIT) Set(pfn hw.PFN, e PITEntry) error {
+	leaf, err := p.leafFor(pfn, true)
+	if err != nil {
+		return err
+	}
+	return p.write32(leaf.Addr()+hw.PhysAddr(uint64(pfn)&(pitEntriesPerPage-1))*4, uint32(e))
+}
+
+// Get looks up the entry for a frame (zero entry if never set).
+func (p *PIT) Get(pfn hw.PFN) (PITEntry, error) {
+	leaf, err := p.leafFor(pfn, false)
+	if err != nil {
+		return 0, err
+	}
+	if leaf == 0 {
+		return 0, nil
+	}
+	v, err := p.read32(leaf.Addr() + hw.PhysAddr(uint64(pfn)&(pitEntriesPerPage-1))*4)
+	return PITEntry(v), err
+}
+
+// Clear invalidates the entry for a frame.
+func (p *PIT) Clear(pfn hw.PFN) error { return p.Set(pfn, 0) }

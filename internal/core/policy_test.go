@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fidelius/internal/cpu"
+	"fidelius/internal/disk"
+	"fidelius/internal/hw"
+	"fidelius/internal/mmu"
+	"fidelius/internal/xen"
+)
+
+// expectVeto asserts err is a policy veto (ProtectionError).
+func expectVeto(t *testing.T, err error, why string) {
+	t.Helper()
+	var pe *cpu.ProtectionError
+	if !errors.As(err, &pe) {
+		t.Fatalf("%s: want ProtectionError, got %v", why, err)
+	}
+}
+
+func TestPTEWriteIntoUntrackedPageVetoed(t *testing.T) {
+	x, f := newPlatform(t)
+	_ = f
+	// A frame the PIT knows nothing about (freshly allocated data page).
+	pfn, err := x.M.Alloc.Alloc(xen.UseXenData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = x.Interpose.WritePTE(nil, pfn.Addr(), mmu.MakePTE(1, mmu.FlagP))
+	expectVeto(t, err, "PTE write into untracked page")
+}
+
+func TestPTEWriteIntoFideliusPageVetoed(t *testing.T) {
+	x, f := newPlatform(t)
+	// The GIT page is Fidelius-private: even through the gate, a "PTE"
+	// write into it must be refused.
+	err := x.Interpose.WritePTE(nil, f.GIT.PagePFN.Addr(), mmu.MakePTE(1, mmu.FlagP))
+	expectVeto(t, err, "PTE write into Fidelius page")
+}
+
+func TestNPTWriteWrongDomainVetoed(t *testing.T) {
+	x, f := newPlatform(t)
+	b1, _ := newBundle(t, f, make([]byte, hw.PageSize), nil)
+	b2, _ := newBundle(t, f, make([]byte, hw.PageSize), nil)
+	d1, err := f.LaunchVM("d1", 16, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := f.LaunchVM("d2", 16, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, err := x.NPTLeafSlot(d1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hypervisor presents d2 as the domain while writing d1's NPT.
+	err = x.Interpose.WritePTE(d2, slot, mmu.MakePTE(d1.Frames[0], mmu.FlagP))
+	expectVeto(t, err, "NPT write attributed to the wrong domain")
+	// And with no domain at all.
+	err = x.Interpose.WritePTE(nil, slot, mmu.MakePTE(d1.Frames[0], mmu.FlagP))
+	expectVeto(t, err, "NPT write with nil domain")
+}
+
+func TestHostPTWritableAliasVetoed(t *testing.T) {
+	x, f := newPlatform(t)
+	b, _ := newBundle(t, f, make([]byte, hw.PageSize), nil)
+	d, err := f.LaunchVM("alias", 16, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate a host-PT leaf slot for some unused high VA region by
+	// using an existing mapping slot: take the leaf slot of a plain
+	// data page's VA.
+	dataPFN, err := x.M.Alloc.Alloc(xen.UseXenData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, err := x.M.HostPT.LeafSlot(uint64(dataPFN.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nptPage := d.NPTPages[0]
+	// Writable alias of a protected NPT page: vetoed.
+	err = x.Interpose.WritePTE(nil, slot, mmu.MakePTE(nptPage, mmu.FlagP|mmu.FlagW))
+	expectVeto(t, err, "writable alias of NPT page")
+	// Read-only alias: permitted (reads are always allowed).
+	if err := x.Interpose.WritePTE(nil, slot, mmu.MakePTE(nptPage, mmu.FlagP)); err != nil {
+		t.Fatalf("read-only alias should pass: %v", err)
+	}
+	// Mapping a guest page at all: vetoed.
+	err = x.Interpose.WritePTE(nil, slot, mmu.MakePTE(d.Frames[2], mmu.FlagP))
+	expectVeto(t, err, "alias of protected guest page")
+	// Writable alias of hypervisor code: vetoed.
+	err = x.Interpose.WritePTE(nil, slot, mmu.MakePTE(x.M.Stubs.Pages[0], mmu.FlagP|mmu.FlagW))
+	expectVeto(t, err, "writable alias of code page")
+	// Restore the identity mapping for hygiene.
+	if err := x.Interpose.WritePTE(nil, slot, mmu.MakePTE(dataPFN, mmu.FlagP|mmu.FlagW|mmu.FlagNX)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantWriteIntoForeignTableVetoed(t *testing.T) {
+	x, f := newPlatform(t)
+	b1, _ := newBundle(t, f, make([]byte, hw.PageSize), nil)
+	b2, _ := newBundle(t, f, make([]byte, hw.PageSize), nil)
+	d1, _ := f.LaunchVM("g1", 16, b1)
+	d2, _ := f.LaunchVM("g2", 16, b2)
+	slot, err := d1.Grant.SlotPA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d2's grant creation directed at d1's grant table page.
+	err = x.Interpose.WriteGrant(d2, slot, xen.GrantEntry{Flags: xen.GrantInUse, Grantee: 0, GFN: 1})
+	expectVeto(t, err, "grant write into a foreign grant table")
+	// Nil domain.
+	err = x.Interpose.WriteGrant(nil, slot, xen.GrantEntry{Flags: xen.GrantInUse})
+	expectVeto(t, err, "grant write without a domain")
+}
+
+func TestPreSharingValidation(t *testing.T) {
+	x, f := newPlatform(t)
+	b, _ := newBundle(t, f, make([]byte, hw.PageSize), nil)
+	d, err := f.LaunchVM("share", 16, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk := x.Interpose.(*Gatekeeper)
+	// Unknown initiator.
+	expectVeto(t, gk.PreSharing(99, 0, 1, 1, 0), "unknown initiator")
+	// Zero count.
+	expectVeto(t, gk.PreSharing(d.ID, 0, 1, 0, 0), "zero count")
+	// Range beyond the initiator's memory.
+	expectVeto(t, gk.PreSharing(d.ID, 0, 10, 20, 0), "range beyond memory")
+	// Valid declaration succeeds.
+	if err := gk.PreSharing(d.ID, 0, 3, 2, 0); err != nil {
+		t.Fatalf("valid pre-sharing rejected: %v", err)
+	}
+}
+
+func TestIOCryptValidation(t *testing.T) {
+	x, f := newPlatform(t)
+	b, _ := newBundle(t, f, make([]byte, hw.PageSize), nil)
+	d, err := f.LaunchVM("iov", 32, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk := x.Interpose.(*Gatekeeper)
+	// No I/O session.
+	expectVeto(t, gk.IOCrypt(d, true, 5, 0, 1, 0), "no I/O session")
+	if err := f.SetupIOSession(d); err != nil {
+		t.Fatal(err)
+	}
+	dk := fideliusTestDisk(t, f, d)
+	_ = dk
+	// Md beyond the guest.
+	expectVeto(t, gk.IOCrypt(d, true, 10_000, 0, 1, 0), "Md beyond guest memory")
+	// Count beyond one page of sectors.
+	expectVeto(t, gk.IOCrypt(d, true, 5, 0, 9, 0), "count beyond Md page")
+	// Shared index beyond the data area.
+	expectVeto(t, gk.IOCrypt(d, true, 5, 0, 1, 10_000), "shared sector beyond data area")
+	// A valid request passes.
+	if err := gk.IOCrypt(d, true, 5, 0, 1, 0); err != nil {
+		t.Fatalf("valid iocrypt rejected: %v", err)
+	}
+}
+
+func fideliusTestDisk(t *testing.T, f *Fidelius, d *xen.Domain) *xen.BlockBackend {
+	t.Helper()
+	backend, err := f.AttachProtectedDisk(d, disk.New(64), 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.X.WriteStartInfo(d); err != nil {
+		t.Fatal(err)
+	}
+	return backend
+}
+
+func TestPITBeyondCoverage(t *testing.T) {
+	_, f := newPlatform(t)
+	if _, err := f.PIT.Get(1 << 40); err == nil {
+		t.Fatal("PIT lookup beyond coverage should error")
+	}
+	if err := f.PIT.Set(1<<40, MakePITEntry(xen.UseGuest, 1, 1)); err == nil {
+		t.Fatal("PIT set beyond coverage should error")
+	}
+}
+
+func TestGITFull(t *testing.T) {
+	_, f := newPlatform(t)
+	for i := 0; i < GITEntriesPerPage; i++ {
+		if err := f.GIT.Add(GITEntry{Initiator: 1, Target: 2, Count: 1}); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if err := f.GIT.Add(GITEntry{Initiator: 1, Target: 2, Count: 1}); !errors.Is(err, ErrGITFull) {
+		t.Fatalf("want ErrGITFull, got %v", err)
+	}
+	if _, err := f.GIT.Entry(-1); err == nil {
+		t.Fatal("negative index should error")
+	}
+}
+
+func TestViolationLogIsDescriptive(t *testing.T) {
+	x, f := newPlatform(t)
+	pfn, _ := x.M.Alloc.Alloc(xen.UseXenData, 0)
+	_ = x.Interpose.WritePTE(nil, pfn.Addr(), mmu.MakePTE(1, mmu.FlagP))
+	if len(f.Violations) == 0 {
+		t.Fatal("no violation logged")
+	}
+	last := f.Violations[len(f.Violations)-1]
+	if last.Kind == "" || !strings.Contains(last.Detail, "untracked") {
+		t.Fatalf("violation lacks detail: %+v", last)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fidelius/internal/cpu"
+)
+
+// Report is an operator-facing snapshot of the trusted context's activity:
+// gate traffic, shadowing volume, protected-VM inventory, and the audit
+// log — the observability a production deployment would watch.
+type Report struct {
+	Config        string
+	Measurement   [32]byte
+	IntegrityRoot *[32]byte // nil when the BMT engine is off
+	Gates         GateStats
+	ProtectedVMs  []string
+	ExitCounts    map[cpu.ExitReason]uint64
+	Violations    []Violation
+	TotalCycles   uint64
+}
+
+// Snapshot collects the current report.
+func (f *Fidelius) Snapshot() Report {
+	r := Report{
+		Config:      f.Name(),
+		Measurement: f.HypervisorMeasurement,
+		Gates:       f.Stats,
+		ExitCounts:  make(map[cpu.ExitReason]uint64, len(f.X.ExitCounts)),
+		Violations:  append([]Violation{}, f.Violations...),
+		TotalCycles: f.M.Ctl.Cycles.Total(),
+	}
+	for k, v := range f.X.ExitCounts {
+		r.ExitCounts[k] = v
+	}
+	for _, st := range f.vms {
+		name := st.Dom.Name
+		switch {
+		case st.GEKReady:
+			name += " (gek)"
+		case st.IOSessionReady:
+			name += " (sev-io)"
+		}
+		r.ProtectedVMs = append(r.ProtectedVMs, name)
+	}
+	sort.Strings(r.ProtectedVMs)
+	if f.M.Ctl.Integ != nil {
+		root := f.M.Ctl.Integ.Root()
+		r.IntegrityRoot = &root
+	}
+	return r
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fidelius status (%s)\n", r.Config)
+	fmt.Fprintf(&b, "  hypervisor measurement: %x\n", r.Measurement[:16])
+	if r.IntegrityRoot != nil {
+		fmt.Fprintf(&b, "  integrity root:         %x\n", r.IntegrityRoot[:16])
+	}
+	fmt.Fprintf(&b, "  gates: type1=%d type2=%d type3=%d shadows=%d\n",
+		r.Gates.Gate1, r.Gates.Gate2, r.Gates.Gate3, r.Gates.Shadows)
+	fmt.Fprintf(&b, "  protected VMs (%d): %s\n", len(r.ProtectedVMs), strings.Join(r.ProtectedVMs, ", "))
+	var reasons []cpu.ExitReason
+	for k := range r.ExitCounts {
+		reasons = append(reasons, k)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	fmt.Fprintf(&b, "  exits:")
+	for _, k := range reasons {
+		fmt.Fprintf(&b, " %v=%d", k, r.ExitCounts[k])
+	}
+	fmt.Fprintf(&b, "\n  total cycles: %d\n", r.TotalCycles)
+	fmt.Fprintf(&b, "  violations (%d):\n", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "    [%s] %s\n", v.Kind, v.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"encoding/gob"
+	"fmt"
+
+	"fidelius/internal/sev"
+)
+
+// Wire formats: guest bundles and migration snapshots travel between
+// machines (the owner's trusted environment → the platform; origin →
+// target), so they need stable serialisation. ECDH public keys are
+// carried as their SEC1 encoding.
+
+type guestBundleWire struct {
+	Image     *sev.EncryptedImage
+	Kwrap     sev.WrappedKeys
+	OwnerPub  []byte
+	Nonce     []byte
+	DiskImage []byte
+}
+
+type migrationBundleWire struct {
+	Name     string
+	MemPages int
+	Kwrap    sev.WrappedKeys
+	Nonce    []byte
+	Packets  []sev.Packet
+	Mvm      sev.Measurement
+}
+
+type gekBundleWire struct {
+	Image    *sev.GEKImage
+	GEKWrap  sev.WrappedKeys
+	OwnerPub []byte
+	Nonce    []byte
+}
+
+func encodePub(pub *ecdh.PublicKey) []byte {
+	if pub == nil {
+		return nil
+	}
+	return pub.Bytes()
+}
+
+func decodePub(b []byte) (*ecdh.PublicKey, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("core: missing public key")
+	}
+	return ecdh.P256().NewPublicKey(b)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for GuestBundle.
+func (b *GuestBundle) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(guestBundleWire{
+		Image:     b.Image,
+		Kwrap:     b.Kwrap,
+		OwnerPub:  encodePub(b.OwnerPub),
+		Nonce:     b.Nonce,
+		DiskImage: b.DiskImage,
+	})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for GuestBundle.
+func (b *GuestBundle) UnmarshalBinary(data []byte) error {
+	var w guestBundleWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	pub, err := decodePub(w.OwnerPub)
+	if err != nil {
+		return err
+	}
+	*b = GuestBundle{
+		Image:     w.Image,
+		Kwrap:     w.Kwrap,
+		OwnerPub:  pub,
+		Nonce:     w.Nonce,
+		DiskImage: w.DiskImage,
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for MigrationBundle.
+func (b *MigrationBundle) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(migrationBundleWire{
+		Name:     b.Name,
+		MemPages: b.MemPages,
+		Kwrap:    b.Kwrap,
+		Nonce:    b.Nonce,
+		Packets:  b.Packets,
+		Mvm:      b.Mvm,
+	})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for
+// MigrationBundle.
+func (b *MigrationBundle) UnmarshalBinary(data []byte) error {
+	var w migrationBundleWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*b = MigrationBundle{
+		Name:     w.Name,
+		MemPages: w.MemPages,
+		Kwrap:    w.Kwrap,
+		Nonce:    w.Nonce,
+		Packets:  w.Packets,
+		Mvm:      w.Mvm,
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for GEKBundle.
+func (b *GEKBundle) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gekBundleWire{
+		Image:    b.Image,
+		GEKWrap:  b.GEKWrap,
+		OwnerPub: encodePub(b.OwnerPub),
+		Nonce:    b.Nonce,
+	})
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for GEKBundle.
+func (b *GEKBundle) UnmarshalBinary(data []byte) error {
+	var w gekBundleWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	pub, err := decodePub(w.OwnerPub)
+	if err != nil {
+		return err
+	}
+	*b = GEKBundle{
+		Image:    w.Image,
+		GEKWrap:  w.GEKWrap,
+		OwnerPub: pub,
+		Nonce:    w.Nonce,
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"fidelius/internal/hw"
+	"fidelius/internal/sev"
+	"fidelius/internal/xen"
+)
+
+func TestGuestBundleSerialisationBootsRemotely(t *testing.T) {
+	// The owner serialises the bundle in its trusted environment; the
+	// platform deserialises it from the wire and boots it.
+	_, f := newPlatform(t)
+	kernel := bytes.Repeat([]byte("WIRE-FORMAT-KERN"), 256)
+	b, _ := newBundle(t, f, kernel, []byte("disk payload"))
+
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 GuestBundle
+	if err := b2.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2.DiskImage, b.DiskImage) || b2.Image.NumPages() != b.Image.NumPages() {
+		t.Fatal("bundle fields lost on the wire")
+	}
+	d, err := f.LaunchVM("wire", 32, &b2)
+	if err != nil {
+		t.Fatalf("deserialised bundle failed to boot: %v", err)
+	}
+	kbase := f.KernelBase(d, &b2) << hw.PageShift
+	got := make([]byte, 16)
+	f.X.StartVCPU(d, func(g *xen.GuestEnv) error { return g.Read(kbase, got) })
+	if err := f.X.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("WIRE-FORMAT-KERN")) {
+		t.Fatalf("kernel mismatch after wire round trip: %q", got)
+	}
+}
+
+func TestMigrationBundleSerialisation(t *testing.T) {
+	x1, f1 := newPlatform(t)
+	_, f2 := newPlatform(t)
+	b, _ := newBundle(t, f1, make([]byte, hw.PageSize), nil)
+	d, err := f1.LaunchVM("m", 16, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1.StartVCPU(d, func(g *xen.GuestEnv) error {
+		return g.Write(0x2000, []byte("wired state"))
+	})
+	if err := x1.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	targetPub, _ := f2.M.FW.PublicKey()
+	snap, err := f1.MigrateOut(d, targetPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap2 MigrationBundle
+	if err := snap2.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	originPub, _ := f1.M.FW.PublicKey()
+	d2, err := f2.MigrateIn(&snap2, originPub)
+	if err != nil {
+		t.Fatalf("deserialised snapshot failed to restore: %v", err)
+	}
+	got := make([]byte, 11)
+	f2.X.StartVCPU(d2, func(g *xen.GuestEnv) error { return g.Read(0x2000, got) })
+	if err := f2.X.Run(d2); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "wired state" {
+		t.Fatalf("state %q", got)
+	}
+}
+
+func TestGEKBundleSerialisation(t *testing.T) {
+	_, f := newPlatform(t)
+	owner, img, gek := gekFixture(t)
+	pub, _ := f.M.FW.PublicKey()
+	b, err := BindGEKGuest(owner, pub, img, gek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 GEKBundle
+	if err := b2.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LaunchVMFromGEK("wire-gek", 32, &b2); err != nil {
+		t.Fatalf("deserialised GEK bundle failed to boot: %v", err)
+	}
+}
+
+func TestSerialisationErrors(t *testing.T) {
+	var b GuestBundle
+	if err := b.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var m MigrationBundle
+	if err := m.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func gekFixture(t *testing.T) (*sev.Owner, *sev.GEKImage, sev.GEK) {
+	t.Helper()
+	owner, err := sev.NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, gek, err := PrepareGEKGuest(owner, bytes.Repeat([]byte("GEK-WIRE-KERNEL!"), 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return owner, img, gek
+}

@@ -1,0 +1,87 @@
+package hw
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Cache is a small physically-indexed, physically-tagged cache holding
+// plaintext. It reproduces the micro-architectural detail the paper's
+// inter-VM remapping attack depends on: cache lines are plaintext and, on
+// pre-SNP hardware, are tagged only by physical address — so a conspirator
+// VM that gets the victim's page mapped into its NPT can hit a line the
+// victim filled and read plaintext without ever touching the AES engine.
+//
+// The cache is write-through: stores update the line and propagate to DRAM
+// through the engine, so DRAM is always current (ciphertext).
+type Cache struct {
+	lines    map[PhysAddr]*[LineSize]byte
+	order    []PhysAddr // FIFO eviction order
+	capacity int
+	hits     uint64
+	misses   uint64
+}
+
+// NewCache returns a cache holding at most capacity lines. A capacity of 0
+// disables caching entirely.
+func NewCache(capacity int) *Cache {
+	return &Cache{lines: make(map[PhysAddr]*[LineSize]byte), capacity: capacity}
+}
+
+func lineBase(pa PhysAddr) PhysAddr { return pa &^ (LineSize - 1) }
+
+// Lookup returns the cached plaintext line containing pa, if present.
+func (c *Cache) Lookup(pa PhysAddr) (*[LineSize]byte, bool) {
+	l, ok := c.lines[lineBase(pa)]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return l, ok
+}
+
+// Fill inserts a plaintext line, evicting FIFO if full.
+func (c *Cache) Fill(pa PhysAddr, data *[LineSize]byte) {
+	if c.capacity == 0 {
+		return
+	}
+	base := lineBase(pa)
+	if _, ok := c.lines[base]; !ok {
+		for len(c.lines) >= c.capacity {
+			victim := c.order[0]
+			c.order = c.order[1:]
+			delete(c.lines, victim)
+		}
+		c.order = append(c.order, base)
+	}
+	cp := *data
+	c.lines[base] = &cp
+}
+
+// Invalidate drops any line overlapping [pa, pa+n).
+func (c *Cache) Invalidate(pa PhysAddr, n int) {
+	first := lineBase(pa)
+	last := lineBase(pa + PhysAddr(n) - 1)
+	for b := first; b <= last; b += LineSize {
+		if _, ok := c.lines[b]; ok {
+			delete(c.lines, b)
+			for i, o := range c.order {
+				if o == b {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+		if b+LineSize < b { // overflow guard
+			break
+		}
+	}
+}
+
+// Flush empties the cache (WBINVD).
+func (c *Cache) Flush() {
+	c.lines = make(map[PhysAddr]*[LineSize]byte)
+	c.order = nil
+}
+
+// Stats reports hit and miss counts since creation.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

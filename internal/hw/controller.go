@@ -1,0 +1,222 @@
+package hw
+
+import "fidelius/internal/cycles"
+
+// Access describes one memory transaction as seen by the memory controller:
+// the physical address, whether the translation carried the C-bit, and the
+// ASID tag of the issuing context.
+type Access struct {
+	PA        PhysAddr
+	Encrypted bool
+	ASID      ASID
+}
+
+// Controller is the memory controller: every CPU-originated access goes
+// through it, consulting the cache and the AES engine. DMA bypasses it via
+// the DMA type.
+type Controller struct {
+	Mem    *Memory
+	Eng    *Engine
+	Cache  *Cache
+	Cycles *cycles.Counter
+
+	// Integ, when non-nil, is the optional Bonsai-Merkle integrity
+	// engine of Section 8: protected lines are verified on every read
+	// from DRAM and re-hashed on every mediated write. Physical writes
+	// that bypass the controller (DMA, rowhammer) break verification.
+	Integ *Integrity
+}
+
+// NewController wires a controller over memory with a cache of cacheLines
+// lines.
+func NewController(mem *Memory, cacheLines int) *Controller {
+	return &Controller{
+		Mem:    mem,
+		Eng:    NewEngine(),
+		Cache:  NewCache(cacheLines),
+		Cycles: &cycles.Counter{},
+	}
+}
+
+func (c *Controller) charge(n uint64) {
+	if c.Cycles != nil {
+		c.Cycles.Charge(n)
+	}
+}
+
+// Read performs a CPU read. Plaintext is returned for encrypted pages only
+// when the issuing ASID's key is installed; a missing key is a fault.
+//
+// Cache hits return the cached plaintext regardless of the accessing ASID —
+// this deliberately reproduces the pre-SNP micro-architecture the paper's
+// inter-VM remapping attack exploits (Section 6.2, "a cache-hit may happen
+// in a high probability to leak privacy").
+func (c *Controller) Read(a Access, buf []byte) error {
+	if err := c.Mem.check(a.PA, len(buf)); err != nil {
+		return err
+	}
+	done := 0
+	for done < len(buf) {
+		pa := a.PA + PhysAddr(done)
+		base := lineBase(pa)
+		off := int(pa - base)
+		n := LineSize - off
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		line, hit := c.Cache.Lookup(pa)
+		if hit {
+			c.charge(cycles.CacheAccess)
+			copy(buf[done:done+n], line[off:off+n])
+			done += n
+			continue
+		}
+		c.charge(cycles.MemAccess)
+		if a.Encrypted {
+			c.charge(cycles.MemEncryptExtra)
+		}
+		if c.Integ != nil && c.Integ.Protected(base.Frame()) {
+			c.charge(cycles.IntegrityCheck)
+			if err := c.Integ.Verify(base, LineSize); err != nil {
+				return err
+			}
+		}
+		var fill [LineSize]byte
+		end := base + LineSize
+		span := LineSize
+		if uint64(end) > c.Mem.Size() {
+			span = int(PhysAddr(c.Mem.Size()) - base)
+		}
+		if err := c.Mem.ReadRaw(base, fill[:span]); err != nil {
+			return err
+		}
+		if a.Encrypted {
+			for b := 0; b+BlockSize <= span; b += BlockSize {
+				if err := c.Eng.DecryptBlock(a.ASID, base+PhysAddr(b), fill[b:b+BlockSize]); err != nil {
+					return err
+				}
+			}
+		}
+		if span == LineSize {
+			c.Cache.Fill(base, &fill)
+		}
+		copy(buf[done:done+n], fill[off:off+n])
+		done += n
+	}
+	return nil
+}
+
+// Write performs a CPU write. The cache is write-through: DRAM always holds
+// the current (ciphertext, for encrypted pages) contents.
+func (c *Controller) Write(a Access, data []byte) error {
+	if err := c.Mem.check(a.PA, len(data)); err != nil {
+		return err
+	}
+	// Update any cached plaintext lines in place (no write-allocate).
+	done := 0
+	for done < len(data) {
+		pa := a.PA + PhysAddr(done)
+		base := lineBase(pa)
+		off := int(pa - base)
+		n := LineSize - off
+		if n > len(data)-done {
+			n = len(data) - done
+		}
+		if line, ok := c.Cache.lines[base]; ok {
+			copy(line[off:off+n], data[done:done+n])
+		}
+		done += n
+	}
+	// Charge per cache line touched, as the write buffer drains them.
+	lines := uint64((a.PA+PhysAddr(len(data))-1)/LineSize - a.PA/LineSize + 1)
+	c.charge(lines * cycles.MemAccess)
+	defer func() {
+		if c.Integ != nil {
+			c.charge(lines * cycles.IntegrityCheck)
+			_ = c.Integ.Update(a.PA, len(data))
+		}
+	}()
+	if !a.Encrypted {
+		return c.Mem.WriteRaw(a.PA, data)
+	}
+	c.charge(lines * cycles.MemEncryptExtra)
+	// Read-modify-write every overlapped 16-byte block through the engine.
+	first := a.PA &^ (BlockSize - 1)
+	last := (a.PA + PhysAddr(len(data)) - 1) &^ (BlockSize - 1)
+	for b := first; b <= last; b += BlockSize {
+		var blk [BlockSize]byte
+		full := b >= a.PA && b+BlockSize <= a.PA+PhysAddr(len(data))
+		if !full {
+			if err := c.Mem.ReadRaw(b, blk[:]); err != nil {
+				return err
+			}
+			if err := c.Eng.DecryptBlock(a.ASID, b, blk[:]); err != nil {
+				return err
+			}
+		}
+		lo := 0
+		if b < a.PA {
+			lo = int(a.PA - b)
+		}
+		hi := BlockSize
+		if b+BlockSize > a.PA+PhysAddr(len(data)) {
+			hi = int(a.PA + PhysAddr(len(data)) - b)
+		}
+		copy(blk[lo:hi], data[int(b)+lo-int(a.PA):])
+		if err := c.Eng.EncryptBlock(a.ASID, b, blk[:]); err != nil {
+			return err
+		}
+		if err := c.Mem.WriteRaw(b, blk[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPage reads a full page.
+func (c *Controller) ReadPage(pfn PFN, encrypted bool, asid ASID, buf *[PageSize]byte) error {
+	return c.Read(Access{PA: pfn.Addr(), Encrypted: encrypted, ASID: asid}, buf[:])
+}
+
+// WritePage writes a full page.
+func (c *Controller) WritePage(pfn PFN, encrypted bool, asid ASID, data *[PageSize]byte) error {
+	return c.Write(Access{PA: pfn.Addr(), Encrypted: encrypted, ASID: asid}, data[:])
+}
+
+// FirmwareWrite stores bytes on behalf of the SEV firmware: raw DRAM
+// write with cache invalidation and — because the firmware lives in the
+// secure processor next to the BMT root — an integrity-tree update.
+func (c *Controller) FirmwareWrite(pa PhysAddr, data []byte) error {
+	c.Cache.Invalidate(pa, len(data))
+	if err := c.Mem.WriteRaw(pa, data); err != nil {
+		return err
+	}
+	if c.Integ != nil {
+		return c.Integ.Update(pa, len(data))
+	}
+	return nil
+}
+
+// DMA is the I/O device view of memory: raw DRAM, no keys. SEV hardware
+// forbids DMA into encrypted pages precisely because this path cannot
+// decrypt; a DMA read of an encrypted page observes ciphertext.
+type DMA struct {
+	ctl *Controller
+}
+
+// DMA returns the DMA port of the controller.
+func (c *Controller) DMA() *DMA { return &DMA{ctl: c} }
+
+// Read copies raw DRAM bytes (ciphertext for encrypted pages).
+func (d *DMA) Read(pa PhysAddr, buf []byte) error {
+	d.ctl.charge(cycles.MemAccess)
+	return d.ctl.Mem.ReadRaw(pa, buf)
+}
+
+// Write stores raw bytes and invalidates overlapping cache lines, exactly
+// as a coherent DMA write would.
+func (d *DMA) Write(pa PhysAddr, data []byte) error {
+	d.ctl.charge(cycles.MemAccess)
+	d.ctl.Cache.Invalidate(pa, len(data))
+	return d.ctl.Mem.WriteRaw(pa, data)
+}

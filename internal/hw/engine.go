@@ -1,0 +1,166 @@
+package hw
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ASID is an address space identifier tagging encrypted accesses. ASID 0 is
+// reserved for the host (SME) key.
+type ASID uint16
+
+// HostASID is the key slot used for host (SME) encryption, i.e. pages the
+// hypervisor itself marks with the C-bit.
+const HostASID ASID = 0
+
+// KeySize is the size in bytes of a VM encryption key (Kvek).
+const KeySize = 32
+
+// Key is a raw VM encryption key. The engine derives independent data and
+// tweak AES-128 subkeys from it, giving an XEX construction tweaked by the
+// physical block address — matching AMD's documented physical-address
+// tweak, which is what makes the replay/remap analysis in the paper
+// meaningful (the same plaintext encrypts differently at different
+// addresses).
+type Key [KeySize]byte
+
+// ErrNoKey reports an encrypted access whose ASID has no installed key.
+var ErrNoKey = errors.New("hw: no key installed for ASID")
+
+// PageCipher is the XEX transform for one key: AES over 16-byte blocks,
+// tweaked by physical address. The SEV firmware holds one per guest
+// context (it must encrypt pages before the key is ever installed in the
+// controller), and the Engine holds one per active ASID.
+type PageCipher struct {
+	data  cipher.Block
+	tweak cipher.Block
+}
+
+// NewPageCipher derives the data and tweak AES subkeys from a raw key.
+func NewPageCipher(key Key) (*PageCipher, error) {
+	dk := sha256.Sum256(append([]byte("fidelius-data-key:"), key[:]...))
+	tk := sha256.Sum256(append([]byte("fidelius-tweak-key:"), key[:]...))
+	data, err := aes.NewCipher(dk[:16])
+	if err != nil {
+		return nil, err
+	}
+	tweak, err := aes.NewCipher(tk[:16])
+	if err != nil {
+		return nil, err
+	}
+	return &PageCipher{data: data, tweak: tweak}, nil
+}
+
+// EncryptBlock encrypts one 16-byte block in place, tweaked by its
+// physical address.
+func (s *PageCipher) EncryptBlock(pa PhysAddr, b []byte) {
+	t := s.tweakFor(pa)
+	for i := range b {
+		b[i] ^= t[i]
+	}
+	s.data.Encrypt(b, b)
+	for i := range b {
+		b[i] ^= t[i]
+	}
+}
+
+// DecryptBlock decrypts one 16-byte block in place, tweaked by its
+// physical address.
+func (s *PageCipher) DecryptBlock(pa PhysAddr, b []byte) {
+	t := s.tweakFor(pa)
+	for i := range b {
+		b[i] ^= t[i]
+	}
+	s.data.Decrypt(b, b)
+	for i := range b {
+		b[i] ^= t[i]
+	}
+}
+
+// Engine is the inline AES memory-encryption engine living in the memory
+// controller. Keys are installed per ASID by the SEV firmware (ACTIVATE)
+// and never leave the engine.
+type Engine struct {
+	mu    sync.RWMutex
+	slots map[ASID]*PageCipher
+}
+
+// NewEngine returns an engine with no keys installed.
+func NewEngine() *Engine {
+	return &Engine{slots: make(map[ASID]*PageCipher)}
+}
+
+// Install loads a key into the slot for the given ASID, overwriting any
+// previous key. Hardware-wise this is the effect of the SEV ACTIVATE
+// command (or BIOS SME enablement for ASID 0).
+func (e *Engine) Install(asid ASID, key Key) error {
+	slot, err := NewPageCipher(key)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.slots[asid] = slot
+	return nil
+}
+
+// Uninstall removes the key for the ASID (SEV DEACTIVATE).
+func (e *Engine) Uninstall(asid ASID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.slots, asid)
+}
+
+// Installed reports whether a key is present for the ASID.
+func (e *Engine) Installed(asid ASID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.slots[asid]
+	return ok
+}
+
+func (e *Engine) slot(asid ASID) (*PageCipher, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s, ok := e.slots[asid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoKey, asid)
+	}
+	return s, nil
+}
+
+// tweakFor computes the XEX tweak block for the 16-byte-aligned physical
+// address.
+func (s *PageCipher) tweakFor(pa PhysAddr) [BlockSize]byte {
+	var in, out [BlockSize]byte
+	binary.LittleEndian.PutUint64(in[:8], uint64(pa))
+	s.tweak.Encrypt(out[:], in[:])
+	return out
+}
+
+// EncryptBlock encrypts one 16-byte block in place, tweaked by its
+// physical address. pa must be block aligned and len(b) == BlockSize.
+func (e *Engine) EncryptBlock(asid ASID, pa PhysAddr, b []byte) error {
+	s, err := e.slot(asid)
+	if err != nil {
+		return err
+	}
+	s.EncryptBlock(pa, b)
+	return nil
+}
+
+// DecryptBlock decrypts one 16-byte block in place, tweaked by its
+// physical address.
+func (e *Engine) DecryptBlock(asid ASID, pa PhysAddr, b []byte) error {
+	s, err := e.slot(asid)
+	if err != nil {
+		return err
+	}
+	s.DecryptBlock(pa, b)
+	return nil
+}

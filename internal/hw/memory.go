@@ -1,0 +1,96 @@
+// Package hw models the physical hardware substrate the rest of the
+// simulator runs on: DRAM, the inline AES memory-encryption engine with
+// per-ASID key slots (AMD SME/SEV), a small physically-tagged cache, and the
+// memory controller that mediates every access.
+//
+// The central property reproduced from the hardware is: DRAM always holds
+// ciphertext for pages accessed with the C-bit set, plaintext only ever
+// exists inside the package boundary (caches and register file), and an
+// access with the wrong key — or no key at all, as in a cold-boot dump, bus
+// snoop or DMA — observes ciphertext.
+package hw
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of a physical page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// BlockSize is the encryption granularity of the AES engine in bytes.
+const BlockSize = 16
+
+// PhysAddr is a host physical address.
+type PhysAddr uint64
+
+// PFN is a physical frame number (PhysAddr >> PageShift).
+type PFN uint64
+
+// Addr returns the base physical address of the frame.
+func (p PFN) Addr() PhysAddr { return PhysAddr(p) << PageShift }
+
+// Frame returns the frame number containing the address.
+func (a PhysAddr) Frame() PFN { return PFN(a >> PageShift) }
+
+// Offset returns the offset of the address within its page.
+func (a PhysAddr) Offset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// ErrOutOfRange reports an access beyond the installed physical memory.
+var ErrOutOfRange = errors.New("hw: physical address out of range")
+
+// Memory is a flat physical memory. All contents are stored exactly as a
+// bus analyser would see them: ciphertext for encrypted pages.
+type Memory struct {
+	data []byte
+}
+
+// NewMemory returns a memory of the given number of 4 KiB pages.
+func NewMemory(pages int) *Memory {
+	return &Memory{data: make([]byte, pages*PageSize)}
+}
+
+// Pages reports the number of physical pages installed.
+func (m *Memory) Pages() int { return len(m.data) / PageSize }
+
+// Size reports the installed memory size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+func (m *Memory) check(pa PhysAddr, n int) error {
+	if uint64(pa)+uint64(n) > uint64(len(m.data)) {
+		return fmt.Errorf("%w: %#x+%d > %#x", ErrOutOfRange, pa, n, len(m.data))
+	}
+	return nil
+}
+
+// ReadRaw copies bytes exactly as stored in DRAM. This is the view of a
+// cold-boot attacker, a bus snooper, or a DMA engine.
+func (m *Memory) ReadRaw(pa PhysAddr, buf []byte) error {
+	if err := m.check(pa, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, m.data[pa:])
+	return nil
+}
+
+// WriteRaw stores bytes directly into DRAM, bypassing the encryption
+// engine. This is the view of a DMA write or a physical tamper.
+func (m *Memory) WriteRaw(pa PhysAddr, data []byte) error {
+	if err := m.check(pa, len(data)); err != nil {
+		return err
+	}
+	copy(m.data[pa:], data)
+	return nil
+}
+
+// FlipBit flips a single bit in DRAM, modelling a rowhammer disturbance.
+func (m *Memory) FlipBit(pa PhysAddr, bit uint) error {
+	if err := m.check(pa, 1); err != nil {
+		return err
+	}
+	m.data[pa] ^= 1 << (bit & 7)
+	return nil
+}

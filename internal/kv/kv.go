@@ -1,0 +1,175 @@
+// Package kv is a small append-only key-value store designed to run
+// *inside* a protected guest: it keeps its index in guest (encrypted)
+// memory and persists records through any of the platform's block
+// front-ends. Running it under Fidelius demonstrates the paper's
+// motivating scenario — a tenant service whose data stays confidential
+// against the hypervisor, the driver domain and the physical disk.
+//
+// On-disk layout: a sequence of sector-aligned records,
+//
+//	[4B magic][4B keyLen][4B valLen][key][value][padding to sector]
+//
+// terminated by a zero sector. The store is crash-simple: reopening scans
+// the log and rebuilds the index.
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockDev is the sector interface the store persists through — satisfied
+// by the baseline and both protected front-ends.
+type BlockDev interface {
+	WriteSectors(lba uint64, data []byte) error
+	ReadSectors(lba uint64, buf []byte) error
+}
+
+// SectorSize matches the platform's disk sector size.
+const SectorSize = 512
+
+const magic = 0xF1DE1105
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("kv: key not found")
+
+// ErrCorrupt reports an undecodable log.
+var ErrCorrupt = errors.New("kv: corrupt log")
+
+// Format initialises a fresh store region by writing the log terminator.
+// It is required before the first Open when the device is an encrypting
+// front-end: a never-written disk does not read back as zeros through an
+// encryption layer.
+func Format(dev BlockDev, baseLBA uint64) error {
+	return dev.WriteSectors(baseLBA, make([]byte, SectorSize))
+}
+
+// Store is one open key-value store.
+type Store struct {
+	dev     BlockDev
+	baseLBA uint64
+	maxLBA  uint64
+	nextLBA uint64
+	index   map[string][]byte
+}
+
+// Open creates or recovers a store occupying [baseLBA, baseLBA+sectors)
+// on the device, replaying any existing log.
+func Open(dev BlockDev, baseLBA uint64, sectors int) (*Store, error) {
+	s := &Store{
+		dev:     dev,
+		baseLBA: baseLBA,
+		maxLBA:  baseLBA + uint64(sectors),
+		nextLBA: baseLBA,
+		index:   make(map[string][]byte),
+	}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func recordSectors(keyLen, valLen int) int {
+	return (12 + keyLen + valLen + SectorSize - 1) / SectorSize
+}
+
+// replay scans the log rebuilding the index.
+func (s *Store) replay() error {
+	head := make([]byte, SectorSize)
+	for s.nextLBA < s.maxLBA {
+		if err := s.dev.ReadSectors(s.nextLBA, head); err != nil {
+			return err
+		}
+		m := binary.LittleEndian.Uint32(head[0:])
+		if m == 0 {
+			return nil // end of log
+		}
+		if m != magic {
+			return fmt.Errorf("%w: bad magic %#x at lba %d", ErrCorrupt, m, s.nextLBA)
+		}
+		keyLen := int(binary.LittleEndian.Uint32(head[4:]))
+		valLen := int(binary.LittleEndian.Uint32(head[8:]))
+		if keyLen <= 0 || keyLen > 4096 || valLen < 0 || valLen > 1<<20 {
+			return fmt.Errorf("%w: silly lengths %d/%d", ErrCorrupt, keyLen, valLen)
+		}
+		n := recordSectors(keyLen, valLen)
+		if s.nextLBA+uint64(n) > s.maxLBA {
+			return fmt.Errorf("%w: record overruns the region", ErrCorrupt)
+		}
+		buf := make([]byte, n*SectorSize)
+		if err := s.dev.ReadSectors(s.nextLBA, buf); err != nil {
+			return err
+		}
+		key := string(buf[12 : 12+keyLen])
+		val := append([]byte{}, buf[12+keyLen:12+keyLen+valLen]...)
+		if valLen == 0 {
+			delete(s.index, key) // tombstone
+		} else {
+			s.index[key] = val
+		}
+		s.nextLBA += uint64(n)
+	}
+	return nil
+}
+
+// Put appends a record and updates the index. The new log terminator is
+// written first so a crash between the two writes leaves a valid log.
+func (s *Store) Put(key string, value []byte) error {
+	if key == "" {
+		return errors.New("kv: empty key")
+	}
+	n := recordSectors(len(key), len(value))
+	if s.nextLBA+uint64(n) > s.maxLBA {
+		return errors.New("kv: store full")
+	}
+	// Terminator first, then the record: a torn sequence still replays.
+	if s.nextLBA+uint64(n) < s.maxLBA {
+		if err := Format(s.dev, s.nextLBA+uint64(n)); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, n*SectorSize)
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(value)))
+	copy(buf[12:], key)
+	copy(buf[12+len(key):], value)
+	if err := s.dev.WriteSectors(s.nextLBA, buf); err != nil {
+		return err
+	}
+	s.nextLBA += uint64(n)
+	if len(value) == 0 {
+		delete(s.index, key)
+	} else {
+		s.index[key] = append([]byte{}, value...)
+	}
+	return nil
+}
+
+// Get returns the current value of a key.
+func (s *Store) Get(key string) ([]byte, error) {
+	v, ok := s.index[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return append([]byte{}, v...), nil
+}
+
+// Delete writes a tombstone for the key.
+func (s *Store) Delete(key string) error { return s.Put(key, nil) }
+
+// Len reports the number of live keys.
+func (s *Store) Len() int { return len(s.index) }
+
+// Keys returns the live keys (order unspecified).
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	return out
+}
+
+// UsedSectors reports the log length in sectors.
+func (s *Store) UsedSectors() uint64 { return s.nextLBA - s.baseLBA }

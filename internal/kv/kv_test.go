@@ -1,0 +1,168 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// memDev is an in-memory BlockDev for unit tests; the integration path
+// through the real protected front-ends is exercised in
+// examples/kvstore and the root integration tests.
+type memDev struct {
+	data []byte
+}
+
+func newMemDev(sectors int) *memDev { return &memDev{data: make([]byte, sectors*SectorSize)} }
+
+func (m *memDev) WriteSectors(lba uint64, data []byte) error {
+	if int(lba)*SectorSize+len(data) > len(m.data) {
+		return errors.New("memdev: out of range")
+	}
+	copy(m.data[lba*SectorSize:], data)
+	return nil
+}
+
+func (m *memDev) ReadSectors(lba uint64, buf []byte) error {
+	if int(lba)*SectorSize+len(buf) > len(m.data) {
+		return errors.New("memdev: out of range")
+	}
+	copy(buf, m.data[lba*SectorSize:])
+	return nil
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, err := Open(newMemDev(64), 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("alice", []byte("balance=100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bob", []byte("balance=250")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("alice")
+	if err != nil || string(v) != "balance=100" {
+		t.Fatalf("get alice: %q %v", v, err)
+	}
+	// Overwrite.
+	if err := s.Put("alice", []byte("balance=50")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get("alice")
+	if string(v) != "balance=50" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if err := s.Delete("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("bob"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestReplayRecoversState(t *testing.T) {
+	dev := newMemDev(128)
+	s, _ := Open(dev, 4, 100)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("k3")
+	s.Put("k5", []byte("updated"))
+
+	// "Reboot": reopen over the same device.
+	s2, err := Open(dev, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 9 {
+		t.Fatalf("recovered %d keys, want 9", s2.Len())
+	}
+	if _, err := s2.Get("k3"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("tombstone not replayed")
+	}
+	v, err := s2.Get("k5")
+	if err != nil || string(v) != "updated" {
+		t.Fatalf("k5 = %q, %v", v, err)
+	}
+	if s2.UsedSectors() != s.UsedSectors() {
+		t.Fatal("log length mismatch after replay")
+	}
+}
+
+func TestStoreFull(t *testing.T) {
+	s, _ := Open(newMemDev(8), 0, 4)
+	big := bytes.Repeat([]byte{1}, 3*SectorSize)
+	if err := s.Put("a", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", big); err == nil {
+		t.Fatal("overfull store accepted a record")
+	}
+}
+
+func TestCorruptLogDetected(t *testing.T) {
+	dev := newMemDev(16)
+	s, _ := Open(dev, 0, 16)
+	s.Put("x", []byte("y"))
+	dev.data[0] ^= 0xFF // smash the magic
+	if _, err := Open(dev, 0, 16); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s, _ := Open(newMemDev(8), 0, 8)
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestPropertyPutGetReplay(t *testing.T) {
+	f := func(pairs map[string]string) bool {
+		dev := newMemDev(2048)
+		s, err := Open(dev, 0, 2048)
+		if err != nil {
+			return false
+		}
+		want := map[string]string{}
+		for k, v := range pairs {
+			if k == "" || len(k) > 64 || len(v) > 256 {
+				continue
+			}
+			if err := s.Put(k, []byte(v)); err != nil {
+				return false
+			}
+			if v == "" {
+				delete(want, k)
+			} else {
+				want[k] = v
+			}
+		}
+		s2, err := Open(dev, 0, 2048)
+		if err != nil {
+			return false
+		}
+		if s2.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			got, err := s2.Get(k)
+			if err != nil || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

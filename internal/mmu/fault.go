@@ -1,0 +1,77 @@
+package mmu
+
+import "fmt"
+
+// AccessType distinguishes read, write and instruction-fetch accesses.
+type AccessType int
+
+// Access types.
+const (
+	Read AccessType = iota
+	Write
+	Execute
+)
+
+func (a AccessType) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Execute:
+		return "execute"
+	}
+	return fmt.Sprintf("access(%d)", int(a))
+}
+
+// FaultReason classifies a translation failure.
+type FaultReason int
+
+// Fault reasons.
+const (
+	NotPresent FaultReason = iota
+	WriteProtected
+	NXViolation
+	UserSupervisor
+	NonCanonical
+)
+
+func (r FaultReason) String() string {
+	switch r {
+	case NotPresent:
+		return "not present"
+	case WriteProtected:
+		return "write protected"
+	case NXViolation:
+		return "nx violation"
+	case UserSupervisor:
+		return "user/supervisor violation"
+	case NonCanonical:
+		return "non-canonical address"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// PageFault is a fault raised while walking an ordinary page table.
+type PageFault struct {
+	VA     uint64
+	Access AccessType
+	Reason FaultReason
+	Level  int // level at which the walk stopped
+}
+
+func (f *PageFault) Error() string {
+	return fmt.Sprintf("page fault: %s at va %#x (%s, level %d)", f.Access, f.VA, f.Reason, f.Level)
+}
+
+// NPTViolation is a fault raised while walking the nested page table; it
+// surfaces to the hypervisor as a nested-page-fault VMEXIT.
+type NPTViolation struct {
+	GPA    uint64
+	Access AccessType
+	Reason FaultReason
+}
+
+func (f *NPTViolation) Error() string {
+	return fmt.Sprintf("npt violation: %s at gpa %#x (%s)", f.Access, f.GPA, f.Reason)
+}

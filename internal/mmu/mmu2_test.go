@@ -1,0 +1,122 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+
+	"fidelius/internal/hw"
+)
+
+func TestMapNonCanonical(t *testing.T) {
+	s, alloc, _ := newTestSpace(t, 16)
+	if err := s.Map(alloc, 1<<45, MakePTE(1, FlagP)); err == nil {
+		t.Fatal("non-canonical map accepted")
+	}
+}
+
+func TestWalkNonCanonical(t *testing.T) {
+	s, _, _ := newTestSpace(t, 16)
+	if _, _, _, err := s.Walk(1 << 45); err == nil {
+		t.Fatal("non-canonical walk accepted")
+	}
+}
+
+func TestLeafOnUnmappedIsZero(t *testing.T) {
+	s, _, _ := newTestSpace(t, 16)
+	leaf, err := s.Leaf(0x123000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf != 0 {
+		t.Fatalf("leaf %v for unmapped va", leaf)
+	}
+}
+
+func TestSetLeafOnUnmappedFails(t *testing.T) {
+	s, _, _ := newTestSpace(t, 16)
+	if err := s.SetLeaf(0x123000, MakePTE(1, FlagP)); err == nil {
+		t.Fatal("SetLeaf without a walk path should fail")
+	}
+	if _, err := s.LeafSlot(0x123000); err == nil {
+		t.Fatal("LeafSlot without a walk path should fail")
+	}
+}
+
+func TestTranslateNotPresentLeaf(t *testing.T) {
+	s, alloc, _ := newTestSpace(t, 64)
+	// Build intermediate levels but a zero leaf.
+	if err := s.Map(alloc, 0x4000, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Translate(0x4000, Read, true, false)
+	var pf *PageFault
+	if !errors.As(err, &pf) || pf.Reason != NotPresent || pf.Level != 0 {
+		t.Fatalf("want leaf not-present fault, got %v", err)
+	}
+}
+
+func TestNestedExecutePermission(t *testing.T) {
+	n, _, _, _ := buildNested(t)
+	// The guest leaf at 0x4000 has no NX bit: execute passes the guest
+	// dimension and reaches the NPT.
+	if _, err := n.Translate(0x4000, Execute, false); err != nil {
+		t.Fatalf("execute should pass: %v", err)
+	}
+}
+
+func TestNestedWriteToGuestReadOnly(t *testing.T) {
+	n, _, ctl, _ := buildNested(t)
+	// Rewrite the guest leaf for 0x5000 as read-only.
+	pte := MakePTE(6, FlagP)
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(pte) >> (8 * i))
+	}
+	pa := hw.PFN(2+64).Addr() + hw.PhysAddr(Index(0x5000, 0)*8)
+	if err := ctl.Write(hw.Access{PA: pa, Encrypted: true, ASID: 7}, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := n.Translate(0x5000, Write, false)
+	var pf *PageFault
+	if !errors.As(err, &pf) || pf.Reason != WriteProtected {
+		t.Fatalf("want guest write-protect fault, got %v", err)
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	pf := &PageFault{VA: 0x1000, Access: Write, Reason: WriteProtected, Level: 0}
+	if pf.Error() == "" {
+		t.Fatal("empty page fault message")
+	}
+	nv := &NPTViolation{GPA: 0x2000, Access: Read, Reason: NotPresent}
+	if nv.Error() == "" {
+		t.Fatal("empty violation message")
+	}
+	for _, a := range []AccessType{Read, Write, Execute, AccessType(9)} {
+		if a.String() == "" {
+			t.Fatal("empty access string")
+		}
+	}
+	for _, r := range []FaultReason{NotPresent, WriteProtected, NXViolation, UserSupervisor, NonCanonical, FaultReason(9)} {
+		if r.String() == "" {
+			t.Fatal("empty reason string")
+		}
+	}
+	if PageBase(0x12345) != 0x12000 {
+		t.Fatal("PageBase")
+	}
+	if !CanonicalVA(1<<VABits-1) || CanonicalVA(1<<VABits) {
+		t.Fatal("CanonicalVA")
+	}
+}
+
+func TestTLBDoesNotMixAccessTypes(t *testing.T) {
+	tlb := NewTLB()
+	tlb.Insert(1, 0x1000, Read, Translation{HPA: 0xAA000})
+	if _, ok := tlb.Lookup(1, 0x1000, Write); ok {
+		t.Fatal("write lookup hit a read entry")
+	}
+	if _, ok := tlb.Lookup(1, 0x1000, Execute); ok {
+		t.Fatal("execute lookup hit a read entry")
+	}
+}

@@ -1,0 +1,108 @@
+// Package mmu implements the simulator's paging machinery: page-table
+// entries, three-level walks, TLBs with ASID tags, and the nested (guest PT
+// over NPT) translation AMD-V performs for SEV guests.
+//
+// Virtual addresses are 39 bits: three 9-bit levels over 4 KiB pages. The
+// page-table entry carries the C-bit ("encrypt me") exactly as AMD's SME and
+// SEV define it; the nested translation applies the paper's priority rule —
+// the guest page table's C-bit takes priority over the nested table's.
+package mmu
+
+import (
+	"fmt"
+
+	"fidelius/internal/hw"
+)
+
+// Flags are PTE permission and attribute bits.
+type Flags uint64
+
+const (
+	// FlagP marks the entry present.
+	FlagP Flags = 1 << 0
+	// FlagW permits writes. Supervisor writes to read-only pages fault
+	// only while CR0.WP is set — the hinge of Fidelius's type 1 gate.
+	FlagW Flags = 1 << 1
+	// FlagU permits user-mode access.
+	FlagU Flags = 1 << 2
+	// FlagC requests encryption of the mapped page (the C-bit).
+	FlagC Flags = 1 << 51
+	// FlagNX forbids instruction fetch.
+	FlagNX Flags = 1 << 63
+)
+
+const (
+	pfnShift = 12
+	pfnMask  = (uint64(1)<<39 - 1) << pfnShift // bits 12..50
+
+	// Levels is the number of page-table levels.
+	Levels = 3
+	// EntriesPerPage is the number of PTEs in one table page.
+	EntriesPerPage = hw.PageSize / 8
+	// VABits is the virtual address width.
+	VABits = 39
+)
+
+// PTE is one page-table entry.
+type PTE uint64
+
+// MakePTE builds an entry mapping the frame with the given flags.
+func MakePTE(pfn hw.PFN, flags Flags) PTE {
+	return PTE((uint64(pfn) << pfnShift & pfnMask) | uint64(flags))
+}
+
+// Present reports the P bit.
+func (p PTE) Present() bool { return p&PTE(FlagP) != 0 }
+
+// Writable reports the W bit.
+func (p PTE) Writable() bool { return p&PTE(FlagW) != 0 }
+
+// User reports the U bit.
+func (p PTE) User() bool { return p&PTE(FlagU) != 0 }
+
+// Encrypted reports the C bit.
+func (p PTE) Encrypted() bool { return p&PTE(FlagC) != 0 }
+
+// NoExec reports the NX bit.
+func (p PTE) NoExec() bool { return p&PTE(FlagNX) != 0 }
+
+// PFN returns the mapped frame number.
+func (p PTE) PFN() hw.PFN { return hw.PFN((uint64(p) & pfnMask) >> pfnShift) }
+
+// WithFlags returns the entry with the given flags added.
+func (p PTE) WithFlags(f Flags) PTE { return p | PTE(f) }
+
+// WithoutFlags returns the entry with the given flags removed.
+func (p PTE) WithoutFlags(f Flags) PTE { return p &^ PTE(f) }
+
+func (p PTE) String() string {
+	if !p.Present() {
+		return "<not present>"
+	}
+	s := fmt.Sprintf("pfn=%#x", uint64(p.PFN()))
+	if p.Writable() {
+		s += " W"
+	}
+	if p.User() {
+		s += " U"
+	}
+	if p.Encrypted() {
+		s += " C"
+	}
+	if p.NoExec() {
+		s += " NX"
+	}
+	return s
+}
+
+// Index returns the page-table index of va at the given level (level 0 is
+// the leaf, Levels-1 the root).
+func Index(va uint64, level int) int {
+	return int(va >> (pfnShift + 9*uint(level)) & (EntriesPerPage - 1))
+}
+
+// PageBase masks va down to its page base.
+func PageBase(va uint64) uint64 { return va &^ (hw.PageSize - 1) }
+
+// CanonicalVA reports whether va fits the 39-bit address space.
+func CanonicalVA(va uint64) bool { return va < 1<<VABits }

@@ -1,0 +1,65 @@
+package mmu
+
+import "fidelius/internal/hw"
+
+type tlbKey struct {
+	asid   hw.ASID
+	vaPage uint64
+	access AccessType
+}
+
+// TLB caches permission-checked translations, tagged by ASID so that guest
+// and host entries coexist (AMD-V tagged TLBs). Fidelius's gate-cost
+// analysis revolves around what each context-transition approach flushes:
+// a CR3 switch flushes everything, the type 3 gate flushes single entries,
+// the type 1 gate flushes nothing.
+type TLB struct {
+	entries map[tlbKey]Translation
+	// Flush statistics, used by the micro-benchmarks.
+	FullFlushes  uint64
+	EntryFlushes uint64
+}
+
+// NewTLB returns an empty TLB.
+func NewTLB() *TLB {
+	return &TLB{entries: make(map[tlbKey]Translation)}
+}
+
+// Lookup returns a cached translation for (asid, va, access).
+func (t *TLB) Lookup(asid hw.ASID, va uint64, access AccessType) (Translation, bool) {
+	tr, ok := t.entries[tlbKey{asid, PageBase(va), access}]
+	return tr, ok
+}
+
+// Insert caches a translation.
+func (t *TLB) Insert(asid hw.ASID, va uint64, access AccessType, tr Translation) {
+	t.entries[tlbKey{asid, PageBase(va), access}] = tr
+}
+
+// FlushAll empties the TLB (MOV CR3 without PCID, or explicit full flush).
+func (t *TLB) FlushAll() {
+	t.entries = make(map[tlbKey]Translation)
+	t.FullFlushes++
+}
+
+// FlushEntry drops all cached translations of one page for one ASID
+// (INVLPG / INVLPGA).
+func (t *TLB) FlushEntry(asid hw.ASID, va uint64) {
+	base := PageBase(va)
+	for _, a := range []AccessType{Read, Write, Execute} {
+		delete(t.entries, tlbKey{asid, base, a})
+	}
+	t.EntryFlushes++
+}
+
+// FlushASID drops every entry of one ASID.
+func (t *TLB) FlushASID(asid hw.ASID) {
+	for k := range t.entries {
+		if k.asid == asid {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// Len reports the number of cached translations.
+func (t *TLB) Len() int { return len(t.entries) }

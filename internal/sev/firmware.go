@@ -1,0 +1,639 @@
+package sev
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"errors"
+	"fmt"
+
+	"fidelius/internal/cycles"
+	"fidelius/internal/hw"
+)
+
+// State is the lifecycle state of a guest context inside the firmware.
+// SEND_UPDATE and RECEIVE_UPDATE are only legal in the sending/receiving
+// states — the constraint that forces Fidelius to keep the s-dom and r-dom
+// helper contexts around for I/O encryption (Section 4.3.5).
+type State int
+
+// Guest context states.
+const (
+	StateInvalid State = iota
+	StateLaunching
+	StateRunning
+	StateSending
+	StateReceiving
+	StateSent
+)
+
+func (s State) String() string {
+	switch s {
+	case StateInvalid:
+		return "invalid"
+	case StateLaunching:
+		return "launching"
+	case StateRunning:
+		return "running"
+	case StateSending:
+		return "sending"
+	case StateReceiving:
+		return "receiving"
+	case StateSent:
+		return "sent"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Handle identifies a guest context inside the firmware. Handles are the
+// hypervisor-visible name of a context; the paper's key-sharing attack
+// works precisely because the hypervisor controls the handle↔ASID binding.
+type Handle uint32
+
+// Errors returned by firmware commands.
+var (
+	ErrNotInitialized = errors.New("sev: platform not initialized")
+	ErrUnauthorized   = errors.New("sev: command issued outside the authorized context")
+	ErrBadHandle      = errors.New("sev: invalid guest handle")
+	ErrBadState       = errors.New("sev: command illegal in current state")
+	ErrASIDInUse      = errors.New("sev: asid already active for another handle")
+	ErrActive         = errors.New("sev: guest still activated")
+	ErrBadMeasurement = errors.New("sev: measurement mismatch")
+	ErrBadTag         = errors.New("sev: transport tag verification failed")
+	ErrNotAligned     = errors.New("sev: buffer not block aligned")
+)
+
+// Packet is one SEND_UPDATE output / RECEIVE_UPDATE input: a chunk of
+// guest data re-encrypted under the transport key, with its sequence
+// number (used as the CTR tweak) and integrity tag.
+type Packet struct {
+	Seq  uint64
+	Data []byte
+	Tag  [32]byte
+}
+
+// Context is one guest's SEV state inside the firmware.
+type Context struct {
+	handle    Handle
+	state     State
+	asid      hw.ASID // 0 = not activated
+	kvek      hw.Key
+	cipher    *hw.PageCipher
+	transport TransportKeys
+	measure   Measurement
+	seq       uint64
+	policy    uint32
+
+	// gek is the customized key of the Section 8 extension.
+	gek    GEK
+	gekSet bool
+}
+
+// State reports the context's lifecycle state.
+func (c *Context) State() State { return c.state }
+
+// ASID reports the active ASID binding (0 if inactive).
+func (c *Context) ASID() hw.ASID { return c.asid }
+
+// Firmware is the SEV firmware in the secure processor. All commands are
+// issued by host software (the hypervisor, or Fidelius once it has taken
+// the SEV metadata away from the hypervisor); the firmware itself is
+// inside the trust boundary.
+type Firmware struct {
+	ctl         *hw.Controller
+	priv        *ecdh.PrivateKey
+	initialized bool
+	ctxs        map[Handle]*Context
+	next        Handle
+	active      map[hw.ASID]Handle
+
+	// attest lazily holds the attestation signing identity.
+	attest *attestKey
+
+	// Authorize, when set, gates every guest-context command. Fidelius
+	// installs a check requiring its trusted context, modelling the
+	// self-maintained SEV metadata of Section 4.2.3: the hypervisor can
+	// no longer issue ACTIVATE/DEACTIVATE and abuse the handle-ASID
+	// binding.
+	Authorize func() bool
+}
+
+// NewFirmware returns an uninitialised firmware attached to the memory
+// controller.
+func NewFirmware(ctl *hw.Controller) *Firmware {
+	return &Firmware{
+		ctl:    ctl,
+		ctxs:   make(map[Handle]*Context),
+		next:   1,
+		active: make(map[hw.ASID]Handle),
+	}
+}
+
+func (f *Firmware) charge(n uint64) { f.ctl.Cycles.Charge(n) }
+
+// Init generates the platform identity and moves the platform to the
+// initialized state (the SEV INIT command Fidelius issues during system
+// initialisation, Section 4.3.1).
+func (f *Firmware) Init() error {
+	if f.initialized {
+		return nil
+	}
+	priv, err := GenerateIdentity()
+	if err != nil {
+		return err
+	}
+	f.priv = priv
+	f.initialized = true
+	f.charge(cycles.SEVCommand)
+	return nil
+}
+
+// PublicKey returns the platform's ECDH public key used in key agreement.
+func (f *Firmware) PublicKey() (*ecdh.PublicKey, error) {
+	if !f.initialized {
+		return nil, ErrNotInitialized
+	}
+	return f.priv.PublicKey(), nil
+}
+
+func (f *Firmware) guard() error {
+	if f.Authorize != nil && !f.Authorize() {
+		return ErrUnauthorized
+	}
+	return nil
+}
+
+func (f *Firmware) ctx(h Handle) (*Context, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	c, ok := f.ctxs[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadHandle, h)
+	}
+	return c, nil
+}
+
+// Lookup returns the context for a handle, for inspection by trusted
+// tooling and tests.
+func (f *Firmware) Lookup(h Handle) (*Context, error) { return f.ctx(h) }
+
+func (f *Firmware) newContext() (*Context, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	if !f.initialized {
+		return nil, ErrNotInitialized
+	}
+	kvek, err := randomKey()
+	if err != nil {
+		return nil, err
+	}
+	c := &Context{handle: f.next, kvek: hw.Key(kvek)}
+	c.cipher, err = hw.NewPageCipher(c.kvek)
+	if err != nil {
+		return nil, err
+	}
+	f.ctxs[f.next] = c
+	f.next++
+	return c, nil
+}
+
+// LaunchStart creates a guest context with a fresh Kvek and returns its
+// handle.
+func (f *Firmware) LaunchStart(policy uint32) (Handle, error) {
+	c, err := f.newContext()
+	if err != nil {
+		return 0, err
+	}
+	c.state = StateLaunching
+	c.policy = policy
+	f.charge(cycles.SEVCommand)
+	return c.handle, nil
+}
+
+// LaunchHelper creates a context sharing the Kvek of an existing guest.
+// This is Fidelius's use of the LAUNCH API to build the s-dom and r-dom
+// helper contexts for SEV-based I/O encryption.
+func (f *Firmware) LaunchHelper(h Handle) (Handle, error) {
+	base, err := f.ctx(h)
+	if err != nil {
+		return 0, err
+	}
+	c, err := f.newContext()
+	if err != nil {
+		return 0, err
+	}
+	c.kvek = base.kvek
+	c.cipher = base.cipher
+	c.state = StateRunning
+	c.policy = base.policy
+	f.charge(cycles.SEVCommand)
+	return c.handle, nil
+}
+
+// LaunchUpdateData encrypts a plaintext page in place with the guest's
+// Kvek and folds it into the launch measurement.
+func (f *Firmware) LaunchUpdateData(h Handle, pfn hw.PFN) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateLaunching {
+		return fmt.Errorf("%w: launch_update in %v", ErrBadState, c.state)
+	}
+	var page [hw.PageSize]byte
+	if err := f.ctl.Mem.ReadRaw(pfn.Addr(), page[:]); err != nil {
+		return err
+	}
+	tag := transportMAC([32]byte(c.kvek), uint64(pfn), page[:])
+	c.measure = measureChain(c.measure, tag)
+	for b := 0; b < hw.PageSize; b += hw.BlockSize {
+		c.cipher.EncryptBlock(pfn.Addr()+hw.PhysAddr(b), page[b:b+hw.BlockSize])
+	}
+	f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+	return f.ctl.FirmwareWrite(pfn.Addr(), page[:])
+}
+
+// LaunchMeasure returns the running launch measurement.
+func (f *Firmware) LaunchMeasure(h Handle) (Measurement, error) {
+	c, err := f.ctx(h)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if c.state != StateLaunching {
+		return Measurement{}, fmt.Errorf("%w: launch_measure in %v", ErrBadState, c.state)
+	}
+	f.charge(cycles.SEVCommand)
+	return c.measure, nil
+}
+
+// LaunchFinish completes launching; the guest context becomes runnable.
+func (f *Firmware) LaunchFinish(h Handle) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateLaunching {
+		return fmt.Errorf("%w: launch_finish in %v", ErrBadState, c.state)
+	}
+	c.state = StateRunning
+	f.charge(cycles.SEVCommand)
+	return nil
+}
+
+// Activate installs the context's Kvek into the memory controller under
+// the given ASID. The firmware checks only liveness of the binding, not
+// its rightfulness — the handle↔ASID relationship is hypervisor-managed
+// state, which is the key-sharing attack surface Fidelius closes by
+// self-maintaining the SEV metadata (Section 4.2.3).
+func (f *Firmware) Activate(h Handle, asid hw.ASID) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if asid == hw.HostASID {
+		return fmt.Errorf("sev: asid 0 is reserved for the host key")
+	}
+	if owner, busy := f.active[asid]; busy && owner != h {
+		return fmt.Errorf("%w: asid %d held by handle %d", ErrASIDInUse, asid, owner)
+	}
+	if c.asid != 0 && c.asid != asid {
+		return fmt.Errorf("sev: handle %d already active as asid %d", h, c.asid)
+	}
+	if err := f.ctl.Eng.Install(asid, c.kvek); err != nil {
+		return err
+	}
+	c.asid = asid
+	f.active[asid] = h
+	f.charge(cycles.SEVCommand)
+	return nil
+}
+
+// Deactivate unbinds the context's ASID and removes its key from the
+// memory controller.
+func (f *Firmware) Deactivate(h Handle) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.asid != 0 {
+		f.ctl.Eng.Uninstall(c.asid)
+		delete(f.active, c.asid)
+		c.asid = 0
+	}
+	f.charge(cycles.SEVCommand)
+	return nil
+}
+
+// Decommission erases the guest context. The guest must be deactivated.
+func (f *Firmware) Decommission(h Handle) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.asid != 0 {
+		return fmt.Errorf("%w: handle %d as asid %d", ErrActive, h, c.asid)
+	}
+	delete(f.ctxs, h)
+	f.charge(cycles.SEVCommand)
+	return nil
+}
+
+// SendStart opens a SEND session: it generates fresh transport keys,
+// wraps them under the ECDH agreement with peerPub and the nonce, and
+// moves the context to the sending state (stopping guest execution — the
+// reason Fidelius does not support live migration, Section 4.3.6).
+func (f *Firmware) SendStart(h Handle, peerPub *ecdh.PublicKey, nonce []byte) (WrappedKeys, error) {
+	c, err := f.ctx(h)
+	if err != nil {
+		return WrappedKeys{}, err
+	}
+	if c.state != StateRunning {
+		return WrappedKeys{}, fmt.Errorf("%w: send_start in %v", ErrBadState, c.state)
+	}
+	tek, err := randomKey()
+	if err != nil {
+		return WrappedKeys{}, err
+	}
+	tik, err := randomKey()
+	if err != nil {
+		return WrappedKeys{}, err
+	}
+	c.transport = TransportKeys{TEK: tek, TIK: tik}
+	shared, err := ECDHAgree(f.priv, peerPub)
+	if err != nil {
+		return WrappedKeys{}, err
+	}
+	w, err := wrapKeys(deriveKEK(shared, nonce), c.transport)
+	if err != nil {
+		return WrappedKeys{}, err
+	}
+	c.state = StateSending
+	c.measure = Measurement{}
+	c.seq = 0
+	f.charge(cycles.SEVCommand)
+	return w, nil
+}
+
+// SendUpdate re-encrypts one guest page from Kvek to the transport key
+// and returns the transport packet.
+func (f *Firmware) SendUpdate(h Handle, pfn hw.PFN) (Packet, error) {
+	c, err := f.ctx(h)
+	if err != nil {
+		return Packet{}, err
+	}
+	if c.state != StateSending {
+		return Packet{}, fmt.Errorf("%w: send_update in %v", ErrBadState, c.state)
+	}
+	var page [hw.PageSize]byte
+	if err := f.ctl.Mem.ReadRaw(pfn.Addr(), page[:]); err != nil {
+		return Packet{}, err
+	}
+	for b := 0; b < hw.PageSize; b += hw.BlockSize {
+		c.cipher.DecryptBlock(pfn.Addr()+hw.PhysAddr(b), page[b:b+hw.BlockSize])
+	}
+	seq := c.seq
+	c.seq++
+	pkt, err := sealPacket(c.transport, seq, page[:])
+	if err != nil {
+		return Packet{}, err
+	}
+	c.measure = measureChain(c.measure, pkt.Tag)
+	f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+	return pkt, nil
+}
+
+// SendUpdateBuf is the buffer-granularity variant Fidelius uses on the
+// I/O path: it reads n bytes of guest data at pa (encrypted with Kvek),
+// and returns them re-encrypted under the transport key with the
+// caller-chosen sequence tweak (a sector number for disk I/O).
+func (f *Firmware) SendUpdateBuf(h Handle, pa hw.PhysAddr, n int, seq uint64) (Packet, error) {
+	c, err := f.ctx(h)
+	if err != nil {
+		return Packet{}, err
+	}
+	if c.state != StateSending {
+		return Packet{}, fmt.Errorf("%w: send_update in %v", ErrBadState, c.state)
+	}
+	if pa%hw.BlockSize != 0 || n%hw.BlockSize != 0 {
+		return Packet{}, ErrNotAligned
+	}
+	buf := make([]byte, n)
+	if err := f.ctl.Mem.ReadRaw(pa, buf); err != nil {
+		return Packet{}, err
+	}
+	for b := 0; b < n; b += hw.BlockSize {
+		c.cipher.DecryptBlock(pa+hw.PhysAddr(b), buf[b:b+hw.BlockSize])
+	}
+	pkt, err := sealPacket(c.transport, seq, buf)
+	if err != nil {
+		return Packet{}, err
+	}
+	f.charge(cycles.SEVCommand + uint64(n)/hw.BlockSize*cycles.AESBlockSEV)
+	return pkt, nil
+}
+
+func sealPacket(tk TransportKeys, seq uint64, plain []byte) (Packet, error) {
+	data := append([]byte{}, plain...)
+	if err := transportXOR(tk.TEK, seq, data); err != nil {
+		return Packet{}, err
+	}
+	return Packet{Seq: seq, Data: data, Tag: transportMAC(tk.TIK, seq, data)}, nil
+}
+
+func openPacket(tk TransportKeys, pkt Packet) ([]byte, error) {
+	want := transportMAC(tk.TIK, pkt.Seq, pkt.Data)
+	if !hmac.Equal(want[:], pkt.Tag[:]) {
+		return nil, ErrBadTag
+	}
+	plain := append([]byte{}, pkt.Data...)
+	if err := transportXOR(tk.TEK, pkt.Seq, plain); err != nil {
+		return nil, err
+	}
+	return plain, nil
+}
+
+// SendIO is the I/O-path variant of SEND_UPDATE: it reads n bytes of
+// guest data at pa (Kvek-encrypted) and returns the TEK ciphertext, with
+// the caller-chosen per-sector sequence tweak but no integrity tag. The
+// paper's I/O protection provides confidentiality only; integrity is the
+// hardware suggestion of Section 8.
+func (f *Firmware) SendIO(h Handle, pa hw.PhysAddr, n int, seq uint64) ([]byte, error) {
+	c, err := f.ctx(h)
+	if err != nil {
+		return nil, err
+	}
+	if c.state != StateSending {
+		return nil, fmt.Errorf("%w: send_io in %v", ErrBadState, c.state)
+	}
+	if pa%hw.BlockSize != 0 || n%hw.BlockSize != 0 {
+		return nil, ErrNotAligned
+	}
+	buf := make([]byte, n)
+	if err := f.ctl.Mem.ReadRaw(pa, buf); err != nil {
+		return nil, err
+	}
+	for b := 0; b < n; b += hw.BlockSize {
+		c.cipher.DecryptBlock(pa+hw.PhysAddr(b), buf[b:b+hw.BlockSize])
+	}
+	if err := transportXOR(c.transport.TEK, seq, buf); err != nil {
+		return nil, err
+	}
+	f.charge(uint64(n) / hw.BlockSize * cycles.AESBlockSEV)
+	return buf, nil
+}
+
+// ReceiveIO is the I/O-path variant of RECEIVE_UPDATE: it decrypts TEK
+// ciphertext with the per-sector sequence tweak and writes it
+// Kvek-encrypted at pa.
+func (f *Firmware) ReceiveIO(h Handle, pa hw.PhysAddr, data []byte, seq uint64) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateReceiving {
+		return fmt.Errorf("%w: receive_io in %v", ErrBadState, c.state)
+	}
+	if pa%hw.BlockSize != 0 || len(data)%hw.BlockSize != 0 {
+		return ErrNotAligned
+	}
+	plain := append([]byte{}, data...)
+	if err := transportXOR(c.transport.TEK, seq, plain); err != nil {
+		return err
+	}
+	for b := 0; b < len(plain); b += hw.BlockSize {
+		c.cipher.EncryptBlock(pa+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
+	}
+	f.charge(uint64(len(plain)) / hw.BlockSize * cycles.AESBlockSEV)
+	return f.ctl.FirmwareWrite(pa, plain)
+}
+
+// SendFinish closes the SEND session and returns the snapshot measurement
+// (the paper's Mvm).
+func (f *Firmware) SendFinish(h Handle) (Measurement, error) {
+	c, err := f.ctx(h)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if c.state != StateSending {
+		return Measurement{}, fmt.Errorf("%w: send_finish in %v", ErrBadState, c.state)
+	}
+	c.state = StateSent
+	f.charge(cycles.SEVCommand)
+	return c.measure, nil
+}
+
+// ReceiveStart opens a RECEIVE session: it creates a context with a fresh
+// Kvek and unwraps the transport keys using the ECDH agreement with the
+// origin's public key and nonce.
+func (f *Firmware) ReceiveStart(w WrappedKeys, originPub *ecdh.PublicKey, nonce []byte) (Handle, error) {
+	if !f.initialized {
+		return 0, ErrNotInitialized
+	}
+	shared, err := ECDHAgree(f.priv, originPub)
+	if err != nil {
+		return 0, err
+	}
+	tk, err := unwrapKeys(deriveKEK(shared, nonce), w)
+	if err != nil {
+		return 0, err
+	}
+	c, err := f.newContext()
+	if err != nil {
+		return 0, err
+	}
+	c.transport = tk
+	c.state = StateReceiving
+	f.charge(cycles.SEVCommand)
+	return c.handle, nil
+}
+
+// ReceiveHelperStart opens a RECEIVE session on a helper context that
+// shares an existing guest's Kvek — the r-dom of Fidelius's I/O path.
+func (f *Firmware) ReceiveHelperStart(base Handle, w WrappedKeys, originPub *ecdh.PublicKey, nonce []byte) (Handle, error) {
+	h, err := f.LaunchHelper(base)
+	if err != nil {
+		return 0, err
+	}
+	shared, err := ECDHAgree(f.priv, originPub)
+	if err != nil {
+		return 0, err
+	}
+	tk, err := unwrapKeys(deriveKEK(shared, nonce), w)
+	if err != nil {
+		return 0, err
+	}
+	c := f.ctxs[h]
+	c.transport = tk
+	c.state = StateReceiving
+	return h, nil
+}
+
+// ReceiveUpdate decrypts one transport packet and writes the page
+// re-encrypted with the context's Kvek at pfn.
+func (f *Firmware) ReceiveUpdate(h Handle, pfn hw.PFN, pkt Packet) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateReceiving {
+		return fmt.Errorf("%w: receive_update in %v", ErrBadState, c.state)
+	}
+	plain, err := openPacket(c.transport, pkt)
+	if err != nil {
+		return err
+	}
+	if len(plain) != hw.PageSize {
+		return fmt.Errorf("sev: receive_update packet is %d bytes, want a page", len(plain))
+	}
+	c.measure = measureChain(c.measure, pkt.Tag)
+	for b := 0; b < hw.PageSize; b += hw.BlockSize {
+		c.cipher.EncryptBlock(pfn.Addr()+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
+	}
+	f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+	return f.ctl.FirmwareWrite(pfn.Addr(), plain)
+}
+
+// ReceiveUpdateBuf is the buffer-granularity variant for the I/O read
+// path: the packet's payload is decrypted from the transport key and
+// written Kvek-encrypted at pa.
+func (f *Firmware) ReceiveUpdateBuf(h Handle, pa hw.PhysAddr, pkt Packet) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateReceiving {
+		return fmt.Errorf("%w: receive_update in %v", ErrBadState, c.state)
+	}
+	if pa%hw.BlockSize != 0 || len(pkt.Data)%hw.BlockSize != 0 {
+		return ErrNotAligned
+	}
+	plain, err := openPacket(c.transport, pkt)
+	if err != nil {
+		return err
+	}
+	for b := 0; b < len(plain); b += hw.BlockSize {
+		c.cipher.EncryptBlock(pa+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
+	}
+	f.ctl.Cache.Invalidate(pa, len(plain))
+	f.charge(cycles.SEVCommand + uint64(len(plain))/hw.BlockSize*cycles.AESBlockSEV)
+	return f.ctl.Mem.WriteRaw(pa, plain)
+}
+
+// ReceiveFinish verifies the accumulated measurement against the
+// sender's Mvm and makes the context runnable.
+func (f *Firmware) ReceiveFinish(h Handle, expect Measurement) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateReceiving {
+		return fmt.Errorf("%w: receive_finish in %v", ErrBadState, c.state)
+	}
+	if c.measure != expect {
+		return ErrBadMeasurement
+	}
+	c.state = StateRunning
+	f.charge(cycles.SEVCommand)
+	return nil
+}

@@ -1,0 +1,154 @@
+// Package sev models the SEV firmware running in AMD's secure processor:
+// the guest-context state machine (LAUNCH/ACTIVATE/SEND/RECEIVE/
+// DEACTIVATE/DECOMMISSION), per-guest VM encryption keys, the ECDH key
+// agreement and wrapped transport keys used by migration, and the
+// measurement chain.
+//
+// Fidelius's central trick — reusing SEND/RECEIVE to boot from an encrypted
+// kernel image and to encrypt disk I/O — is a protocol over this API, so
+// the firmware is modelled at full API granularity with real cryptography:
+// ECDH over P-256, AES-256-GCM key wrapping, AES-CTR transport encryption
+// and HMAC-SHA256 integrity, all from the standard library.
+package sev
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// TransportKeys are the transport encryption key (TEK) and transport
+// integrity key (TIK) protecting a SEND/RECEIVE session.
+type TransportKeys struct {
+	TEK [32]byte
+	TIK [32]byte
+}
+
+// WrappedKeys is Kwrap: the TEK and TIK wrapped under the key-encryption
+// key derived from the ECDH agreement between the two endpoints. It is
+// public data — the paper sends it to Fidelius offline.
+type WrappedKeys struct {
+	Nonce      [12]byte
+	Ciphertext []byte // AES-256-GCM(TEK || TIK)
+}
+
+// ErrBadWrap reports a wrapped-key blob that fails authentication.
+var ErrBadWrap = errors.New("sev: wrapped keys fail authentication")
+
+// deriveKEK derives the key-encryption key from an ECDH shared secret and
+// the session nonce (the paper's Nvm).
+func deriveKEK(shared []byte, nonce []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("sev-kek-v1"))
+	h.Write(shared)
+	h.Write(nonce)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func newGCM(key [32]byte) (cipher.AEAD, error) {
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(blk)
+}
+
+// wrapKeys seals TEK||TIK under the KEK.
+func wrapKeys(kek [32]byte, tk TransportKeys) (WrappedKeys, error) {
+	aead, err := newGCM(kek)
+	if err != nil {
+		return WrappedKeys{}, err
+	}
+	var w WrappedKeys
+	if _, err := io.ReadFull(rand.Reader, w.Nonce[:]); err != nil {
+		return WrappedKeys{}, err
+	}
+	plain := append(append([]byte{}, tk.TEK[:]...), tk.TIK[:]...)
+	w.Ciphertext = aead.Seal(nil, w.Nonce[:], plain, []byte("sev-kwrap"))
+	return w, nil
+}
+
+// unwrapKeys opens Kwrap with the KEK.
+func unwrapKeys(kek [32]byte, w WrappedKeys) (TransportKeys, error) {
+	aead, err := newGCM(kek)
+	if err != nil {
+		return TransportKeys{}, err
+	}
+	plain, err := aead.Open(nil, w.Nonce[:], w.Ciphertext, []byte("sev-kwrap"))
+	if err != nil {
+		return TransportKeys{}, fmt.Errorf("%w: %v", ErrBadWrap, err)
+	}
+	if len(plain) != 64 {
+		return TransportKeys{}, ErrBadWrap
+	}
+	var tk TransportKeys
+	copy(tk.TEK[:], plain[:32])
+	copy(tk.TIK[:], plain[32:])
+	return tk, nil
+}
+
+// transportXOR applies the AES-256-CTR transport keystream for a chunk
+// identified by seq (page index or I/O request counter). Encrypt and
+// decrypt are the same operation.
+func transportXOR(tek [32]byte, seq uint64, data []byte) error {
+	blk, err := aes.NewCipher(tek[:])
+	if err != nil {
+		return err
+	}
+	var iv [16]byte
+	binary.LittleEndian.PutUint64(iv[:8], seq)
+	ctr := cipher.NewCTR(blk, iv[:])
+	ctr.XORKeyStream(data, data)
+	return nil
+}
+
+// transportMAC computes the HMAC-SHA256 tag of one transport chunk.
+func transportMAC(tik [32]byte, seq uint64, ciphertext []byte) [32]byte {
+	m := hmac.New(sha256.New, tik[:])
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seq)
+	m.Write(s[:])
+	m.Write(ciphertext)
+	var out [32]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// Measurement is a running integrity measurement (the paper's Mvm).
+type Measurement [32]byte
+
+// measureChain folds a chunk tag into the running measurement.
+func measureChain(cur Measurement, tag [32]byte) Measurement {
+	h := sha256.New()
+	h.Write(cur[:])
+	h.Write(tag[:])
+	var out Measurement
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ECDHAgree computes the raw shared secret between a private and a peer
+// public key.
+func ECDHAgree(priv *ecdh.PrivateKey, pub *ecdh.PublicKey) ([]byte, error) {
+	return priv.ECDH(pub)
+}
+
+// GenerateIdentity creates a fresh P-256 ECDH identity.
+func GenerateIdentity() (*ecdh.PrivateKey, error) {
+	return ecdh.P256().GenerateKey(rand.Reader)
+}
+
+func randomKey() ([32]byte, error) {
+	var k [32]byte
+	_, err := io.ReadFull(rand.Reader, k[:])
+	return k, err
+}

@@ -1,0 +1,420 @@
+package sev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"fidelius/internal/hw"
+)
+
+func newFW(t *testing.T, pages int) (*Firmware, *hw.Controller) {
+	t.Helper()
+	ctl := hw.NewController(hw.NewMemory(pages), 64)
+	fw := NewFirmware(ctl)
+	if err := fw.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return fw, ctl
+}
+
+func TestInitRequired(t *testing.T) {
+	ctl := hw.NewController(hw.NewMemory(4), 0)
+	fw := NewFirmware(ctl)
+	if _, err := fw.LaunchStart(0); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("want ErrNotInitialized, got %v", err)
+	}
+	if _, err := fw.PublicKey(); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("want ErrNotInitialized, got %v", err)
+	}
+	if err := fw.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Init(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchLifecycle(t *testing.T) {
+	fw, ctl := newFW(t, 16)
+	h, err := fw.LaunchStart(0x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := bytes.Repeat([]byte("kernel page bits"), hw.PageSize/16)
+	if err := ctl.Mem.WriteRaw(hw.PFN(2).Addr(), plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.LaunchUpdateData(h, 2); err != nil {
+		t.Fatal(err)
+	}
+	// DRAM now holds ciphertext.
+	raw := make([]byte, hw.PageSize)
+	ctl.Mem.ReadRaw(hw.PFN(2).Addr(), raw)
+	if bytes.Equal(raw, plain) {
+		t.Fatal("launch_update left plaintext in DRAM")
+	}
+	m, err := fw.LaunchMeasure(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == (Measurement{}) {
+		t.Fatal("empty measurement after update")
+	}
+	if err := fw.LaunchFinish(h); err != nil {
+		t.Fatal(err)
+	}
+	// Activate installs the key; guest reads see plaintext.
+	if err := fw.Activate(h, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, hw.PageSize)
+	if err := ctl.Read(hw.Access{PA: hw.PFN(2).Addr(), Encrypted: true, ASID: 3}, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Fatal("activated guest cannot decrypt its launched image")
+	}
+	// State machine: update after finish is illegal.
+	if err := fw.LaunchUpdateData(h, 2); !errors.Is(err, ErrBadState) {
+		t.Fatalf("want ErrBadState, got %v", err)
+	}
+}
+
+func TestActivateBindings(t *testing.T) {
+	fw, _ := newFW(t, 8)
+	h1, _ := fw.LaunchStart(0)
+	h2, _ := fw.LaunchStart(0)
+	if err := fw.Activate(h1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Activate(h2, 1); !errors.Is(err, ErrASIDInUse) {
+		t.Fatalf("want ErrASIDInUse, got %v", err)
+	}
+	if err := fw.Activate(h1, 2); err == nil {
+		t.Fatal("re-activating a handle under a different ASID must fail")
+	}
+	if err := fw.Activate(h1, 1); err != nil { // idempotent re-activate
+		t.Fatal(err)
+	}
+	// The key-sharing attack path: deactivate the victim, then bind its
+	// handle to the attacker's ASID. The firmware permits this — it
+	// cannot know better; Fidelius prevents it by owning the metadata.
+	if err := fw.Deactivate(h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Activate(h1, 9); err != nil {
+		t.Fatalf("rebinding after deactivate should be permitted by firmware: %v", err)
+	}
+	if err := fw.Decommission(h1); !errors.Is(err, ErrActive) {
+		t.Fatalf("decommission while active: want ErrActive, got %v", err)
+	}
+	fw.Deactivate(h1)
+	if err := fw.Decommission(h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Lookup(h1); !errors.Is(err, ErrBadHandle) {
+		t.Fatalf("context survived decommission: %v", err)
+	}
+	if err := fw.Activate(h2, 0); err == nil {
+		t.Fatal("asid 0 must be rejected")
+	}
+}
+
+func TestOwnerImageReceiveBoot(t *testing.T) {
+	// Full VM-preparing + bootup protocol from Sections 4.3.2-4.3.3.
+	fw, ctl := newFW(t, 64)
+	owner, err := NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platformPub, _ := fw.PublicKey()
+	kernel := bytes.Repeat([]byte("FIDELIUS-KERNEL!"), 600) // ~2.3 pages
+	img, kwrap, err := owner.PrepareImage(platformPub, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.NumPages() != 3 {
+		t.Fatalf("image pages = %d, want 3", img.NumPages())
+	}
+
+	h, err := fw.ReceiveStart(kwrap, owner.PublicKey(), owner.Nonce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := hw.PFN(10)
+	for i, pkt := range img.Pages {
+		if err := fw.ReceiveUpdate(h, base+hw.PFN(i), pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.ReceiveFinish(h, img.Measurement); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Activate(h, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The guest sees its kernel in plaintext; DRAM holds ciphertext.
+	got := make([]byte, len(kernel))
+	if err := ctl.Read(hw.Access{PA: base.Addr(), Encrypted: true, ASID: 4}, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, kernel) {
+		t.Fatal("booted kernel mismatch")
+	}
+	raw := make([]byte, len(kernel))
+	ctl.Mem.ReadRaw(base.Addr(), raw)
+	if bytes.Contains(raw, []byte("FIDELIUS-KERNEL!")) {
+		t.Fatal("kernel visible in DRAM")
+	}
+}
+
+func TestReceiveDetectsTamper(t *testing.T) {
+	fw, _ := newFW(t, 64)
+	owner, _ := NewOwner()
+	platformPub, _ := fw.PublicKey()
+	kernel := bytes.Repeat([]byte{7}, hw.PageSize)
+	img, kwrap, err := owner.PrepareImage(platformPub, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := fw.ReceiveStart(kwrap, owner.PublicKey(), owner.Nonce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hypervisor tampers the ciphertext while loading it.
+	bad := img.Pages[0]
+	bad.Data = append([]byte{}, bad.Data...)
+	bad.Data[100] ^= 0xFF
+	if err := fw.ReceiveUpdate(h, 5, bad); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("want ErrBadTag, got %v", err)
+	}
+	// Replaying a stale packet out of order corrupts the measurement.
+	h2, err := fw.ReceiveStart(kwrap, owner.PublicKey(), owner.Nonce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.ReceiveUpdate(h2, 5, img.Pages[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.ReceiveUpdate(h2, 6, img.Pages[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.ReceiveFinish(h2, img.Measurement); !errors.Is(err, ErrBadMeasurement) {
+		t.Fatalf("want ErrBadMeasurement, got %v", err)
+	}
+}
+
+func TestWrongOwnerKeyCannotUnwrap(t *testing.T) {
+	fw, _ := newFW(t, 8)
+	owner, _ := NewOwner()
+	mallory, _ := NewOwner()
+	platformPub, _ := fw.PublicKey()
+	_, kwrap, err := owner.PrepareImage(platformPub, make([]byte, hw.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hypervisor presenting the wrong origin identity fails to unwrap.
+	if _, err := fw.ReceiveStart(kwrap, mallory.PublicKey(), owner.Nonce()); !errors.Is(err, ErrBadWrap) {
+		t.Fatalf("want ErrBadWrap, got %v", err)
+	}
+	// Wrong nonce also fails.
+	if _, err := fw.ReceiveStart(kwrap, owner.PublicKey(), []byte("bad")); !errors.Is(err, ErrBadWrap) {
+		t.Fatalf("want ErrBadWrap, got %v", err)
+	}
+}
+
+func TestMigrationSendReceive(t *testing.T) {
+	// Origin and target are two firmwares over two machines.
+	origin, octl := newFW(t, 32)
+	target, tctl := newFW(t, 32)
+
+	// Launch a guest on the origin with known content.
+	h, _ := origin.LaunchStart(0)
+	secret := bytes.Repeat([]byte("migrate me 1234!"), hw.PageSize/16)
+	octl.Mem.WriteRaw(hw.PFN(3).Addr(), secret)
+	if err := origin.LaunchUpdateData(h, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := origin.LaunchFinish(h); err != nil {
+		t.Fatal(err)
+	}
+
+	// SEND on origin, wrapped for the target platform.
+	targetPub, _ := target.PublicKey()
+	nonce := []byte("migration-nonce")
+	kwrap, err := origin.SendStart(h, targetPub, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := origin.SendUpdate(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvm, err := origin.SendFinish(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// RECEIVE on target.
+	originPub, _ := origin.PublicKey()
+	th, err := target.ReceiveStart(kwrap, originPub, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.ReceiveUpdate(th, 7, pkt); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.ReceiveFinish(th, mvm); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Activate(th, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, hw.PageSize)
+	if err := tctl.Read(hw.Access{PA: hw.PFN(7).Addr(), Encrypted: true, ASID: 2}, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("migrated page mismatch")
+	}
+	// The transported packet itself is ciphertext.
+	if bytes.Contains(pkt.Data, []byte("migrate me 1234!")) {
+		t.Fatal("transport packet holds plaintext")
+	}
+	// SEND_START stopped the origin guest: further updates illegal.
+	if _, err := origin.SendUpdate(h, 3); !errors.Is(err, ErrBadState) {
+		t.Fatalf("want ErrBadState after finish, got %v", err)
+	}
+}
+
+func TestHelperContextsIOPath(t *testing.T) {
+	// The s-dom / r-dom construction of Section 4.3.5: helper contexts
+	// sharing the guest's Kvek, one in sending and one in receiving
+	// state, with a common TEK agreed platform-to-itself.
+	fw, ctl := newFW(t, 64)
+	h, _ := fw.LaunchStart(0)
+	if err := fw.LaunchFinish(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Activate(h, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	selfPub, _ := fw.PublicKey()
+	nonce := []byte("io-session")
+	sdom, err := fw.LaunchHelper(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kwrap, err := fw.SendStart(sdom, selfPub, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdom, err := fw.ReceiveHelperStart(h, kwrap, selfPub, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Guest writes plaintext into its encrypted buffer Md.
+	md := hw.PFN(20).Addr()
+	data := bytes.Repeat([]byte("disk sector data"), 32) // 512 bytes
+	if err := ctl.Write(hw.Access{PA: md, Encrypted: true, ASID: 5}, data); err != nil {
+		t.Fatal(err)
+	}
+	// I/O write: SEND_UPDATE re-encrypts Kvek -> TEK into a packet for
+	// the shared buffer.
+	pkt, err := fw.SendUpdateBuf(sdom, md, len(data), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(pkt.Data, []byte("disk sector data")) {
+		t.Fatal("I/O packet leaks plaintext")
+	}
+	// I/O read: RECEIVE_UPDATE re-encrypts TEK -> Kvek into another
+	// guest buffer.
+	dst := hw.PFN(21).Addr()
+	if err := fw.ReceiveUpdateBuf(rdom, dst, pkt); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := ctl.Read(hw.Access{PA: dst, Encrypted: true, ASID: 5}, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("I/O round trip through s-dom/r-dom mismatch")
+	}
+	// Alignment enforcement.
+	if _, err := fw.SendUpdateBuf(sdom, md+1, 16, 0); !errors.Is(err, ErrNotAligned) {
+		t.Fatalf("want ErrNotAligned, got %v", err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StateInvalid: "invalid", StateLaunching: "launching", StateRunning: "running",
+		StateSending: "sending", StateReceiving: "receiving", StateSent: "sent",
+		State(42): "state(42)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestPropertyWrapUnwrapRoundTrip(t *testing.T) {
+	f := func(tek, tik [32]byte, nonce []byte) bool {
+		kekSeed := append([]byte("shared"), nonce...)
+		kek := deriveKEK(kekSeed, nonce)
+		w, err := wrapKeys(kek, TransportKeys{TEK: tek, TIK: tik})
+		if err != nil {
+			return false
+		}
+		got, err := unwrapKeys(kek, w)
+		if err != nil {
+			return false
+		}
+		return got.TEK == tek && got.TIK == tik
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransportRoundTripAndTagging(t *testing.T) {
+	tk := TransportKeys{}
+	copy(tk.TEK[:], bytes.Repeat([]byte{1}, 32))
+	copy(tk.TIK[:], bytes.Repeat([]byte{2}, 32))
+	f := func(seq uint64, payload []byte) bool {
+		pkt, err := sealPacket(tk, seq, payload)
+		if err != nil {
+			return false
+		}
+		plain, err := openPacket(tk, pkt)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(plain, payload) {
+			return false
+		}
+		if len(pkt.Data) > 0 {
+			bad := pkt
+			bad.Data = append([]byte{}, pkt.Data...)
+			bad.Data[0] ^= 1
+			if _, err := openPacket(tk, bad); err == nil {
+				return false // tamper must be detected
+			}
+		}
+		// Changing the seq breaks the tag too.
+		bad2 := pkt
+		bad2.Seq++
+		if _, err := openPacket(tk, bad2); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

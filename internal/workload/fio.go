@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"fidelius/internal/disk"
+	"fidelius/internal/xen"
+)
+
+// BlockDev is the guest-side block interface all three front-ends
+// implement: the plaintext baseline (xen.BlockFrontend) and the two
+// protected paths (core.AESNIFront, core.SEVFront).
+type BlockDev interface {
+	WriteSectors(lba uint64, data []byte) error
+	ReadSectors(lba uint64, buf []byte) error
+}
+
+// FioPattern is one of the four fio configurations of Table 3.
+type FioPattern int
+
+// Patterns.
+const (
+	SeqRead FioPattern = iota
+	SeqWrite
+	RandRead
+	RandWrite
+)
+
+func (p FioPattern) String() string {
+	switch p {
+	case SeqRead:
+		return "seq-read"
+	case SeqWrite:
+		return "seq-write"
+	case RandRead:
+		return "rand-read"
+	case RandWrite:
+		return "rand-write"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// PaperSlowdown returns the paper's measured slowdown for the pattern
+// under Fidelius AES-NI (Table 3), in percent.
+func (p FioPattern) PaperSlowdown() float64 {
+	switch p {
+	case SeqRead:
+		return 22.91
+	case SeqWrite:
+		return 3.61
+	case RandRead:
+		return 1.38
+	case RandWrite:
+		return 0.70
+	}
+	return 0
+}
+
+// FioResult is one fio run.
+type FioResult struct {
+	Pattern FioPattern
+	Config  string
+	Sectors int
+	Cycles  uint64
+}
+
+// CyclesPerSector reports the average per-sector cost.
+func (r FioResult) CyclesPerSector() float64 {
+	if r.Sectors == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Sectors)
+}
+
+// Slowdown reports r's slowdown against a baseline run, in percent.
+func (r FioResult) Slowdown(base FioResult) float64 {
+	b := base.CyclesPerSector()
+	if b == 0 {
+		return 0
+	}
+	return 100 * (r.CyclesPerSector() - b) / b
+}
+
+const (
+	seqOpSectors  = 16 // large sequential requests (two data pages)
+	randOpSectors = 8  // 4 KiB random requests, as fio issues them
+)
+
+// FioGuest returns the guest kernel running one fio pattern over
+// totalSectors sectors of the region [0, regionSectors). The open
+// callback constructs the configuration's front-end inside the guest.
+func FioGuest(pattern FioPattern, totalSectors, regionSectors int, open func(*xen.GuestEnv) (BlockDev, error), out *FioResult) xen.GuestFunc {
+	return func(g *xen.GuestEnv) error {
+		dev, err := open(g)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, seqOpSectors*disk.SectorSize)
+		for i := range buf {
+			buf[i] = byte(i * 31)
+		}
+		// Preparation (untimed): populate the region so reads hit
+		// initialised sectors.
+		if pattern == SeqRead || pattern == RandRead {
+			for lba := 0; lba+seqOpSectors <= regionSectors; lba += seqOpSectors {
+				if err := dev.WriteSectors(uint64(lba), buf); err != nil {
+					return err
+				}
+			}
+		}
+		lcg := uint64(12345)
+		nextRand := func(op int) uint64 {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			slots := uint64(regionSectors / op)
+			return (lcg >> 33) % slots * uint64(op)
+		}
+
+		start := g.Cycles()
+		done := 0
+		seqLBA := 0
+		for done < totalSectors {
+			switch pattern {
+			case SeqRead:
+				if seqLBA+seqOpSectors > regionSectors {
+					seqLBA = 0
+				}
+				if err := dev.ReadSectors(uint64(seqLBA), buf); err != nil {
+					return err
+				}
+				seqLBA += seqOpSectors
+				done += seqOpSectors
+			case SeqWrite:
+				if seqLBA+seqOpSectors > regionSectors {
+					seqLBA = 0
+				}
+				if err := dev.WriteSectors(uint64(seqLBA), buf); err != nil {
+					return err
+				}
+				seqLBA += seqOpSectors
+				done += seqOpSectors
+			case RandRead:
+				if err := dev.ReadSectors(nextRand(randOpSectors), buf[:randOpSectors*disk.SectorSize]); err != nil {
+					return err
+				}
+				done += randOpSectors
+			case RandWrite:
+				if err := dev.WriteSectors(nextRand(randOpSectors), buf[:randOpSectors*disk.SectorSize]); err != nil {
+					return err
+				}
+				done += randOpSectors
+			}
+		}
+		out.Pattern = pattern
+		out.Sectors = done
+		out.Cycles = g.Cycles() - start
+		return nil
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+
+	"fidelius/internal/cycles"
+	"fidelius/internal/hw"
+	"fidelius/internal/xen"
+)
+
+// probesPerIter is the number of real memory accesses issued per
+// iteration to *measure* the machine's DRAM-access cost under the current
+// configuration (encrypted or not, through the real controller and
+// engine); the profile's remaining modelled misses are charged at the
+// measured rate. This makes encryption overhead an emergent property of
+// the actual machine state rather than an input.
+const probesPerIter = 16
+
+// wsBaseGFN is the first guest frame of the probing working set.
+const wsBaseGFN = 16
+
+// wsPages is the working-set size in pages. With a stride-64 cyclic sweep
+// and a working set larger than the cache, every probe misses.
+const wsPages = 96
+
+// Result is one workload execution.
+type Result struct {
+	Profile    Profile
+	Config     string
+	Iterations int
+	Cycles     uint64
+}
+
+// CyclesPerIter reports the average cost of one iteration.
+func (r Result) CyclesPerIter() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Iterations)
+}
+
+// Overhead returns the normalized overhead of r against a baseline, in
+// percent — the metric of Figures 5 and 6.
+func (r Result) Overhead(base Result) float64 {
+	b := base.CyclesPerIter()
+	if b == 0 {
+		return 0
+	}
+	return 100 * (r.CyclesPerIter() - b) / b
+}
+
+// GuestMemPages is the memory a workload guest needs.
+const GuestMemPages = wsBaseGFN + wsPages + 8
+
+// GuestFunc returns the guest kernel that executes the profile for iters
+// iterations. It must run on a domain with at least GuestMemPages pages.
+func GuestFunc(p Profile, iters int, out *Result) xen.GuestFunc {
+	return func(g *xen.GuestEnv) error {
+		// Warm the working set so lazily populated NPTs, PIT claims and
+		// translation caches settle before measurement.
+		var w [8]byte
+		for pg := 0; pg < wsPages; pg++ {
+			if err := g.Read(uint64(wsBaseGFN+pg)<<hw.PageShift, w[:]); err != nil {
+				return fmt.Errorf("warmup: %w", err)
+			}
+		}
+		if _, err := g.Hypercall(xen.HCVoid); err != nil {
+			return err
+		}
+
+		nMiss := int(float64(p.MemPerIter) * p.MissRate)
+		nHit := p.MemPerIter - nMiss
+		base := uint64(wsBaseGFN) << hw.PageShift
+		const wsBytes = uint64(wsPages) << hw.PageShift
+		var off uint64
+		hcDebt := 0
+
+		start := g.Cycles()
+		for i := 0; i < iters; i++ {
+			// Compute phase.
+			g.Charge(uint64(p.ALUPerIter) * cycles.ALUOp)
+
+			// Cache-hit accesses.
+			g.Charge(uint64(nHit) * cycles.CacheAccess)
+
+			// Probe phase: real DRAM accesses through the controller
+			// measure the per-miss cost under this configuration.
+			p0 := g.Cycles()
+			for k := 0; k < probesPerIter; k++ {
+				if err := g.Read(base+off, w[:]); err != nil {
+					return fmt.Errorf("probe: %w", err)
+				}
+				off = (off + hw.LineSize) % wsBytes
+			}
+			perMiss := (g.Cycles() - p0) / probesPerIter
+			if nMiss > probesPerIter {
+				g.Charge(uint64(nMiss-probesPerIter) * perMiss)
+			}
+
+			// Service exits.
+			hcDebt += p.HCPerKIter
+			for hcDebt >= 1000 {
+				if _, err := g.Hypercall(xen.HCVoid); err != nil {
+					return err
+				}
+				hcDebt -= 1000
+			}
+		}
+		out.Cycles = g.Cycles() - start
+		out.Iterations = iters
+		out.Profile = p
+		return nil
+	}
+}
+
+// Run executes the profile on an existing domain and returns the result.
+func Run(x *xen.Xen, d *xen.Domain, p Profile, iters int) (Result, error) {
+	var res Result
+	res.Config = x.Interpose.Name()
+	x.StartVCPU(d, GuestFunc(p, iters, &res))
+	if err := x.Run(d); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+
+	"fidelius/internal/disk"
+	"fidelius/internal/xen"
+)
+
+func TestProfileSuitesComplete(t *testing.T) {
+	spec := SPEC()
+	if len(spec) != 11 {
+		t.Fatalf("SPEC has %d profiles, want the paper's 11 C benchmarks", len(spec))
+	}
+	parsec := PARSEC()
+	if len(parsec) != 13 {
+		t.Fatalf("PARSEC has %d profiles, want 13", len(parsec))
+	}
+	// Figure 5's average: 5.38% for Fidelius-enc.
+	var sum float64
+	for _, p := range spec {
+		sum += p.PaperEnc
+	}
+	if avg := sum / float64(len(spec)); avg < 5.3 || avg > 5.5 {
+		t.Errorf("SPEC paper-enc average %.2f, want 5.38", avg)
+	}
+	// Figure 6's average: 1.97%.
+	sum = 0
+	for _, p := range parsec {
+		sum += p.PaperEnc
+	}
+	if avg := sum / float64(len(parsec)); avg < 1.9 || avg > 2.1 {
+		t.Errorf("PARSEC paper-enc average %.2f, want 1.97", avg)
+	}
+	// Outliers are present and marked.
+	for _, name := range []string{"mcf", "omnetpp", "canneal"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		if p.MissRate < 0.5 {
+			t.Errorf("%s should be memory-bound (miss rate %.2f)", name, p.MissRate)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName should miss")
+	}
+}
+
+func TestRunnerDeterminism(t *testing.T) {
+	prof, _ := ByName("gcc")
+	run := func() Result {
+		m, err := xen.NewMachine(xen.Config{MemPages: 2048, CacheLines: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := xen.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := x.CreateDomain(xen.DomainConfig{Name: "w", MemPages: GuestMemPages})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(x, d, prof, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles {
+		t.Fatalf("runner is nondeterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+	if a.Iterations != 5 || a.CyclesPerIter() <= 0 {
+		t.Fatalf("bad result bookkeeping: %+v", a)
+	}
+}
+
+func TestOverheadComputation(t *testing.T) {
+	base := Result{Cycles: 1000, Iterations: 10}
+	other := Result{Cycles: 1100, Iterations: 10}
+	if got := other.Overhead(base); got < 9.9 || got > 10.1 {
+		t.Fatalf("overhead %.2f, want 10", got)
+	}
+	var zero Result
+	if zero.CyclesPerIter() != 0 || other.Overhead(zero) != 0 {
+		t.Fatal("zero-value handling")
+	}
+}
+
+func TestFioPatternsRoundTrip(t *testing.T) {
+	m, err := xen.NewMachine(xen.Config{MemPages: 2048, CacheLines: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := xen.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := x.CreateDomain(xen.DomainConfig{Name: "fio", MemPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk := disk.New(256)
+	if _, err := x.AttachBlockDevice(d, dk, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.WriteStartInfo(d); err != nil {
+		t.Fatal(err)
+	}
+	open := func(g *xen.GuestEnv) (BlockDev, error) { return xen.NewBlockFrontend(g) }
+	for _, pat := range []FioPattern{SeqWrite, SeqRead, RandWrite, RandRead} {
+		var res FioResult
+		x.StartVCPU(d, FioGuest(pat, 96, 192, open, &res))
+		if err := x.Run(d); err != nil {
+			t.Fatalf("%v: %v", pat, err)
+		}
+		if res.Sectors < 96 || res.Cycles == 0 {
+			t.Fatalf("%v: empty result %+v", pat, res)
+		}
+		if res.CyclesPerSector() <= 0 {
+			t.Fatalf("%v: bad per-sector cost", pat)
+		}
+	}
+}
+
+func TestFioRandomCostsMoreThanSequential(t *testing.T) {
+	m, _ := xen.NewMachine(xen.Config{MemPages: 2048, CacheLines: 1024})
+	x, _ := xen.New(m)
+	d, _ := x.CreateDomain(xen.DomainConfig{Name: "fio", MemPages: 64})
+	dk := disk.New(256)
+	x.AttachBlockDevice(d, dk, 2, 1)
+	x.WriteStartInfo(d)
+	open := func(g *xen.GuestEnv) (BlockDev, error) { return xen.NewBlockFrontend(g) }
+	run := func(p FioPattern) FioResult {
+		var res FioResult
+		x.StartVCPU(d, FioGuest(p, 96, 192, open, &res))
+		if err := x.Run(d); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(SeqRead)
+	rnd := run(RandRead)
+	if rnd.CyclesPerSector() < 5*seq.CyclesPerSector() {
+		t.Fatalf("random reads (%.0f cyc/sec) should dwarf sequential (%.0f cyc/sec)",
+			rnd.CyclesPerSector(), seq.CyclesPerSector())
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for p, want := range map[FioPattern]string{
+		SeqRead: "seq-read", SeqWrite: "seq-write",
+		RandRead: "rand-read", RandWrite: "rand-write",
+	} {
+		if p.String() != want {
+			t.Errorf("%d: %q", int(p), p.String())
+		}
+		if p.PaperSlowdown() <= 0 {
+			t.Errorf("%v lacks a paper value", p)
+		}
+	}
+	if FioPattern(9).String() != "pattern(9)" || FioPattern(9).PaperSlowdown() != 0 {
+		t.Error("unknown pattern handling")
+	}
+}

@@ -1,0 +1,180 @@
+package xen
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"fidelius/internal/disk"
+)
+
+func TestPropertyGrantEntryMarshal(t *testing.T) {
+	f := func(flags, grantee uint16, gfn uint64) bool {
+		e := GrantEntry{Flags: flags, Grantee: DomID(grantee), GFN: gfn}
+		var b [GrantEntrySize]byte
+		e.Marshal(b[:])
+		return UnmarshalGrantEntry(b[:]) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStartInfoMarshal(t *testing.T) {
+	f := func(dom uint16, mem, ring, data, n uint32, port uint32) bool {
+		si := &StartInfo{
+			DomID:    DomID(dom),
+			MemPages: uint64(mem),
+			RingGFN:  uint64(ring),
+			DataGFN:  uint64(data),
+			DataLen:  uint64(n),
+			Port:     port,
+		}
+		got, err := UnmarshalStartInfo(si.Marshal())
+		return err == nil && *got == *si
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockRequestBeyondDisk(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "oob", MemPages: 32, SEV: true})
+	dk := disk.New(16) // tiny disk
+	if _, err := x.AttachBlockDevice(d, dk, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	x.WriteStartInfo(d)
+	var werr, rerr error
+	x.StartVCPU(d, func(g *GuestEnv) error {
+		f, err := NewBlockFrontend(g)
+		if err != nil {
+			return err
+		}
+		werr = f.WriteSectors(12, make([]byte, 8*disk.SectorSize)) // crosses the end
+		rerr = f.ReadSectors(100, make([]byte, disk.SectorSize))
+		return nil
+	})
+	if err := x.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if werr == nil {
+		t.Error("write beyond disk should fail")
+	}
+	if rerr == nil {
+		t.Error("read beyond disk should fail")
+	}
+}
+
+func TestBlockUnalignedTransfersRejected(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "una", MemPages: 32, SEV: true})
+	if _, err := x.AttachBlockDevice(d, disk.New(64), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	x.WriteStartInfo(d)
+	x.StartVCPU(d, func(g *GuestEnv) error {
+		f, err := NewBlockFrontend(g)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteSectors(0, make([]byte, 100)); err == nil {
+			t.Error("unaligned write accepted")
+		}
+		if err := f.ReadSectors(0, make([]byte, 700)); err == nil {
+			t.Error("unaligned read accepted")
+		}
+		return nil
+	})
+	if err := x.Run(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachBlockDeviceValidation(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "v", MemPages: 8, SEV: true})
+	if _, err := x.AttachBlockDevice(d, disk.New(64), 0, 1); err == nil {
+		t.Error("zero data pages accepted")
+	}
+	if _, err := x.AttachBlockDevice(d, disk.New(64), 20, 1); err == nil {
+		t.Error("data area larger than the domain accepted")
+	}
+	if _, ok := x.Backend(d.ID); ok {
+		t.Error("failed attach registered a backend")
+	}
+}
+
+func TestFrontendWithoutDevice(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "nodev", MemPages: 16, SEV: true})
+	x.StartVCPU(d, func(g *GuestEnv) error {
+		if _, err := NewBlockFrontend(g); err == nil {
+			t.Error("front-end without a device should fail")
+		}
+		return nil
+	})
+	if err := x.Run(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekModelChargesRandomAccess(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "seek", MemPages: 32, SEV: true})
+	dk := disk.New(256)
+	x.AttachBlockDevice(d, dk, 2, 1)
+	x.WriteStartInfo(d)
+	buf := make([]byte, 8*disk.SectorSize)
+	var seqCycles, randCycles uint64
+	x.StartVCPU(d, func(g *GuestEnv) error {
+		f, err := NewBlockFrontend(g)
+		if err != nil {
+			return err
+		}
+		// Warm up (first request of each op direction seeks once).
+		f.ReadSectors(0, buf)
+		c0 := g.Cycles()
+		for i := 1; i <= 4; i++ {
+			if err := f.ReadSectors(uint64(i*8), buf); err != nil {
+				return err
+			}
+		}
+		seqCycles = g.Cycles() - c0
+		c0 = g.Cycles()
+		for _, lba := range []uint64{96, 16, 120, 48} {
+			if err := f.ReadSectors(lba, buf); err != nil {
+				return err
+			}
+		}
+		randCycles = g.Cycles() - c0
+		return nil
+	})
+	if err := x.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if randCycles < 3*seqCycles {
+		t.Fatalf("random reads (%d) should dwarf sequential (%d)", randCycles, seqCycles)
+	}
+}
+
+func TestBackendSnoopDisabledByDefault(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "nosnoop", MemPages: 32, SEV: true})
+	backend, err := x.AttachBlockDevice(d, disk.New(64), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.WriteStartInfo(d)
+	x.StartVCPU(d, func(g *GuestEnv) error {
+		f, _ := NewBlockFrontend(g)
+		return f.WriteSectors(0, bytes.Repeat([]byte{1}, disk.SectorSize))
+	})
+	if err := x.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if len(backend.Snoop) != 0 {
+		t.Fatal("snoop captured data while disabled")
+	}
+}

@@ -1,0 +1,67 @@
+package xen
+
+import (
+	"fmt"
+
+	"fidelius/internal/cycles"
+)
+
+// EventBus is the event-channel mechanism: a guest (or the toolstack)
+// kicks a port, and the bound handler runs in host context. The PV block
+// protocol uses it to signal requests from front-end to back-end.
+type EventBus struct {
+	ctlCharge func(uint64)
+	handlers  map[evtKey]func() error
+}
+
+type evtKey struct {
+	dom  DomID
+	port uint32
+}
+
+// newEventBus returns an empty bus charging cycles through fn.
+func newEventBus(charge func(uint64)) *EventBus {
+	return &EventBus{ctlCharge: charge, handlers: make(map[evtKey]func() error)}
+}
+
+// Bind installs the handler for (dom, port), replacing any previous one.
+func (b *EventBus) Bind(dom DomID, port uint32, handler func() error) {
+	b.handlers[evtKey{dom, port}] = handler
+}
+
+// Unbind removes the handler for (dom, port).
+func (b *EventBus) Unbind(dom DomID, port uint32) {
+	delete(b.handlers, evtKey{dom, port})
+}
+
+// Notify kicks a port. The bound handler runs synchronously in host
+// context before the notifying hypercall returns.
+func (b *EventBus) Notify(dom DomID, port uint32) error {
+	h, ok := b.handlers[evtKey{dom, port}]
+	if !ok {
+		return fmt.Errorf("xen: event channel %d/%d not bound", dom, port)
+	}
+	b.ctlCharge(cycles.EventChannelSignal)
+	return h()
+}
+
+// XenStore is the toolstack's small key-value store, used to advertise
+// ring GPAs and grant references between front and back ends.
+type XenStore struct {
+	kv map[string]string
+}
+
+// newXenStore returns an empty store.
+func newXenStore() *XenStore { return &XenStore{kv: make(map[string]string)} }
+
+// Set stores a value.
+func (s *XenStore) Set(key, val string) { s.kv[key] = val }
+
+// Get reads a value.
+func (s *XenStore) Get(key string) (string, bool) {
+	v, ok := s.kv[key]
+	return v, ok
+}
+
+// Delete removes a key.
+func (s *XenStore) Delete(key string) { delete(s.kv, key) }

@@ -1,0 +1,114 @@
+package xen
+
+import (
+	"errors"
+	"fmt"
+
+	"fidelius/internal/hw"
+)
+
+// GrantEntrySize is the marshalled size of one grant-table entry.
+const GrantEntrySize = 16
+
+// GrantEntriesPerPage is the number of entries in one grant-table page.
+const GrantEntriesPerPage = hw.PageSize / GrantEntrySize
+
+// Grant entry flags.
+const (
+	// GrantInUse marks the entry valid.
+	GrantInUse uint16 = 1 << 0
+	// GrantReadOnly restricts the grantee's mapping to read-only. The
+	// paper's grant-table attack flips exactly this bit (Section 2.2).
+	GrantReadOnly uint16 = 1 << 1
+)
+
+// GrantEntry is one row of a domain's grant table: the granter offers its
+// guest frame GFN to domain Grantee with the given flags. Grant tables are
+// memory-resident (and hence write-protectable by Fidelius).
+type GrantEntry struct {
+	Flags   uint16
+	Grantee DomID
+	GFN     uint64
+}
+
+// Marshal encodes the entry into a 16-byte slot.
+func (e GrantEntry) Marshal(b []byte) {
+	b[0] = byte(e.Flags)
+	b[1] = byte(e.Flags >> 8)
+	b[2] = byte(e.Grantee)
+	b[3] = byte(e.Grantee >> 8)
+	for i := 0; i < 8; i++ {
+		b[4+i] = byte(e.GFN >> (8 * i))
+	}
+	b[12], b[13], b[14], b[15] = 0, 0, 0, 0
+}
+
+// UnmarshalGrantEntry decodes a 16-byte slot.
+func UnmarshalGrantEntry(b []byte) GrantEntry {
+	var e GrantEntry
+	e.Flags = uint16(b[0]) | uint16(b[1])<<8
+	e.Grantee = DomID(uint16(b[2]) | uint16(b[3])<<8)
+	for i := 0; i < 8; i++ {
+		e.GFN |= uint64(b[4+i]) << (8 * i)
+	}
+	return e
+}
+
+// ErrBadGrant reports an invalid grant reference or a failed validation.
+var ErrBadGrant = errors.New("xen: bad grant reference")
+
+// GrantTable is one domain's grant table, stored in a dedicated physical
+// page so it appears in the memory permission map (Table 1).
+type GrantTable struct {
+	PagePFN hw.PFN
+	ctl     *hw.Controller
+}
+
+// newGrantTable allocates and zeroes a grant-table page.
+func newGrantTable(ctl *hw.Controller, alloc *FrameAlloc, owner DomID) (*GrantTable, error) {
+	pfn, err := alloc.Alloc(UseGrantTable, owner)
+	if err != nil {
+		return nil, err
+	}
+	var zero [hw.PageSize]byte
+	if err := ctl.Mem.WriteRaw(pfn.Addr(), zero[:]); err != nil {
+		return nil, err
+	}
+	ctl.Cache.Invalidate(pfn.Addr(), hw.PageSize)
+	return &GrantTable{PagePFN: pfn, ctl: ctl}, nil
+}
+
+// SlotPA returns the physical address of entry ref.
+func (g *GrantTable) SlotPA(ref int) (hw.PhysAddr, error) {
+	if ref < 0 || ref >= GrantEntriesPerPage {
+		return 0, fmt.Errorf("%w: ref %d", ErrBadGrant, ref)
+	}
+	return g.PagePFN.Addr() + hw.PhysAddr(ref*GrantEntrySize), nil
+}
+
+// Entry reads entry ref from memory.
+func (g *GrantTable) Entry(ref int) (GrantEntry, error) {
+	pa, err := g.SlotPA(ref)
+	if err != nil {
+		return GrantEntry{}, err
+	}
+	var buf [GrantEntrySize]byte
+	if err := g.ctl.Read(hw.Access{PA: pa}, buf[:]); err != nil {
+		return GrantEntry{}, err
+	}
+	return UnmarshalGrantEntry(buf[:]), nil
+}
+
+// FreeRef finds the first unused entry index.
+func (g *GrantTable) FreeRef() (int, error) {
+	for i := 0; i < GrantEntriesPerPage; i++ {
+		e, err := g.Entry(i)
+		if err != nil {
+			return 0, err
+		}
+		if e.Flags&GrantInUse == 0 {
+			return i, nil
+		}
+	}
+	return 0, errors.New("xen: grant table full")
+}

@@ -1,0 +1,189 @@
+package xen
+
+import (
+	"errors"
+
+	"fidelius/internal/cpu"
+	"fidelius/internal/cycles"
+	"fidelius/internal/hw"
+	"fidelius/internal/mmu"
+)
+
+// Hypercall numbers. Arguments travel in guest registers R1..R5 and the
+// result returns in R0 with an errno in R1.
+const (
+	// HCVoid does nothing — the paper's shadowing micro-benchmark
+	// (Section 7.2) measures its round trip.
+	HCVoid = iota
+	// HCConsoleIO is a debug write: R1 carries up to 8 bytes
+	// little-endian, R2 the byte count.
+	HCConsoleIO
+	// HCGrantTableOp manipulates grant tables (sub-op in R1).
+	HCGrantTableOp
+	// HCEventChannelOp signals event channels (sub-op in R1).
+	HCEventChannelOp
+	// HCPreSharingOp is Fidelius's added hypercall (Section 4.3.7):
+	// the initiator declares an intended sharing before creating the
+	// grant; handled directly by the trusted context.
+	HCPreSharingOp
+	// HCEnableSME asks Fidelius to set C-bits on the NPT for SME-based
+	// encryption of subsequently allocated pages (Section 7.1).
+	HCEnableSME
+	// HCFideliusIO is the retrofitted event channel of the SEV-based
+	// I/O path: R1=op (0 read, 1 write), R2=Md GFN, R3=lba, R4=sector
+	// count, R5=shared-area sector index.
+	HCFideliusIO
+)
+
+// Grant-table sub-operations (R1).
+const (
+	// GntOpGrant creates a grant: R2=grantee, R3=gfn, R4=flags → ref.
+	GntOpGrant = iota
+	// GntOpMap maps a foreign grant: R2=granter, R3=ref, R4=dstGFN.
+	GntOpMap
+	// GntOpRevoke revokes the caller's own grant: R2=ref.
+	GntOpRevoke
+	// GntOpUnmap removes a foreign mapping: R2=dstGFN.
+	GntOpUnmap
+)
+
+// Event-channel sub-operations (R1).
+const (
+	// EvtOpSend kicks a port: R2=port.
+	EvtOpSend = iota
+)
+
+// Hypercall errno values (R1 after return).
+const (
+	errnoOK     = 0
+	errnoFail   = 1
+	errnoAccess = 13 // policy veto
+	errnoNoSys  = 38
+)
+
+// GrantWindowPages is the size of the guest-physical window above a
+// guest's own memory where foreign grants are mapped.
+const GrantWindowPages = 16
+
+func errnoFor(err error) uint64 {
+	if err == nil {
+		return errnoOK
+	}
+	var pe *cpu.ProtectionError
+	if errors.As(err, &pe) {
+		return errnoAccess
+	}
+	if errors.Is(err, ErrNoSuchHypercall) {
+		return errnoNoSys
+	}
+	return errnoFail
+}
+
+// hypercall dispatches one hypercall from domain d. It returns the result
+// and errno values for R0 and R1.
+func (x *Xen) hypercall(d *Domain, regs [cpu.NumRegs]uint64) (res, errno uint64) {
+	x.M.Ctl.Cycles.Charge(200) // dispatch cost (part of the hypercall path)
+	switch regs[0] {
+	case HCVoid:
+		return 0, errnoOK
+	case HCConsoleIO:
+		// R1 holds up to 8 bytes little-endian, R2 the byte count.
+		n := regs[2]
+		if n > 8 {
+			n = 8
+		}
+		for i := uint64(0); i < n; i++ {
+			x.console[d.ID] = append(x.console[d.ID], byte(regs[1]>>(8*i)))
+		}
+		return 0, errnoOK
+	case HCGrantTableOp:
+		return x.grantOp(d, regs)
+	case HCEventChannelOp:
+		switch regs[1] {
+		case EvtOpSend:
+			return 0, errnoFor(x.Events.Notify(d.ID, uint32(regs[2])))
+		}
+		return 0, errnoNoSys
+	case HCPreSharingOp:
+		return 0, errnoFor(x.Interpose.PreSharing(d.ID, DomID(regs[1]), regs[2], regs[3], regs[4]))
+	case HCEnableSME:
+		return 0, errnoFor(x.Interpose.EnableSME(d))
+	case HCFideliusIO:
+		return 0, errnoFor(x.Interpose.IOCrypt(d, regs[1] == 1, regs[2], regs[3], regs[4], regs[5]))
+	}
+	return 0, errnoNoSys
+}
+
+func (x *Xen) grantOp(d *Domain, regs [cpu.NumRegs]uint64) (res, errno uint64) {
+	switch regs[1] {
+	case GntOpGrant:
+		grantee, gfn, flags := DomID(regs[2]), regs[3], uint16(regs[4])
+		if _, ok := d.GPAFrame(gfn); !ok {
+			return 0, errnoFail
+		}
+		ref, err := d.Grant.FreeRef()
+		if err != nil {
+			return 0, errnoFail
+		}
+		slot, err := d.Grant.SlotPA(ref)
+		if err != nil {
+			return 0, errnoFail
+		}
+		entry := GrantEntry{Flags: GrantInUse | flags, Grantee: grantee, GFN: gfn}
+		if err := x.Interpose.WriteGrant(d, slot, entry); err != nil {
+			return 0, errnoFor(err)
+		}
+		x.M.Alloc.SetUse(d.Frames[gfn], UseShared, d.ID)
+		return uint64(ref), errnoOK
+
+	case GntOpMap:
+		granter, ref, dstGFN := DomID(regs[2]), int(regs[3]), regs[4]
+		gd, ok := x.Doms[granter]
+		if !ok {
+			return 0, errnoFail
+		}
+		e, err := gd.Grant.Entry(ref)
+		if err != nil || e.Flags&GrantInUse == 0 || e.Grantee != d.ID {
+			return 0, errnoFail
+		}
+		pfn, ok := gd.GPAFrame(e.GFN)
+		if !ok {
+			return 0, errnoFail
+		}
+		flags := mmu.FlagP | mmu.FlagU
+		if e.Flags&GrantReadOnly == 0 {
+			flags |= mmu.FlagW
+		}
+		if err := x.MapNPT(d, dstGFN<<hw.PageShift, mmu.MakePTE(pfn, flags)); err != nil {
+			return 0, errnoFor(err)
+		}
+		return 0, errnoOK
+
+	case GntOpRevoke:
+		ref := int(regs[2])
+		slot, err := d.Grant.SlotPA(ref)
+		if err != nil {
+			return 0, errnoFail
+		}
+		if err := x.Interpose.WriteGrant(d, slot, GrantEntry{}); err != nil {
+			return 0, errnoFor(err)
+		}
+		return 0, errnoOK
+
+	case GntOpUnmap:
+		dstGFN := regs[2]
+		slot, err := x.NPTLeafSlot(d, dstGFN<<hw.PageShift)
+		if err != nil {
+			return 0, errnoFail
+		}
+		if err := x.Interpose.WritePTE(d, slot, 0); err != nil {
+			return 0, errnoFor(err)
+		}
+		return 0, errnoOK
+	}
+	return 0, errnoNoSys
+}
+
+// VoidHypercallCost is the modelled cost of a void hypercall round trip
+// without Fidelius: exit, dispatch, entry.
+const VoidHypercallCost = cycles.Hypercall

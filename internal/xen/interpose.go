@@ -1,0 +1,132 @@
+package xen
+
+import (
+	"fidelius/internal/hw"
+	"fidelius/internal/mmu"
+)
+
+// Interposer is the seam between the hypervisor's service-provision logic
+// and the management of critical resources. The paper's core idea is to
+// separate the two (Section 3.1): in an unprotected system both sides are
+// the hypervisor (the Direct implementation below); under Fidelius the
+// management half is re-routed through gates into the trusted context,
+// which enforces policy.
+//
+// The split mirrors Table 1: VMCB and registers are shadowed around the
+// exit/entry boundary (OnVMExit / PreVMRun); memory-mapping structures and
+// grant tables are updated through write gates (WritePTE / NewPTPage /
+// WriteGrant); VMRUN is executed through its gate (VMRun); and the
+// Fidelius-only hypercalls are forwarded (PreSharing / EnableSME).
+type Interposer interface {
+	// Name identifies the configuration in benchmarks ("xen",
+	// "fidelius", "fidelius-enc").
+	Name() string
+
+	// OnVMExit runs at the guest→host boundary, before any hypervisor
+	// handler sees the exit. Fidelius shadows the VMCB and registers
+	// here and masks confidential fields by exit reason.
+	OnVMExit(d *Domain, vmcbPA hw.PhysAddr) error
+
+	// PreVMRun runs at the host→guest boundary, after all hypervisor
+	// handling. Fidelius verifies VMCB integrity against the shadow and
+	// restores the true register file.
+	PreVMRun(d *Domain, vmcbPA hw.PhysAddr) error
+
+	// VMRun executes the VMRUN instruction for the given VMCB. Under
+	// Fidelius this is the type 3 gate (map stub, check, run, unmap).
+	VMRun(vmcbPA hw.PhysAddr) error
+
+	// NewPTPage reports a freshly allocated page-table page (level > 0
+	// intermediate or the root) of domain d's NPT, or of the host page
+	// table when d is nil. Fidelius write-protects it and tags the PIT.
+	NewPTPage(d *Domain, pfn hw.PFN) error
+
+	// WritePTE performs a page-table entry write on behalf of the
+	// hypervisor: slot is the physical address of the entry. Under
+	// Fidelius this is the type 1 gate with PIT policy enforcement.
+	WritePTE(d *Domain, slot hw.PhysAddr, val mmu.PTE) error
+
+	// WriteGrant performs a grant-table entry write on behalf of the
+	// hypervisor. Under Fidelius this is the type 1 gate with GIT
+	// policy enforcement.
+	WriteGrant(d *Domain, slot hw.PhysAddr, entry GrantEntry) error
+
+	// PreSharing handles the pre_sharing_op hypercall (a Fidelius
+	// extension; rejected by the direct implementation): the initiator
+	// declares the target domain, the shared GFN range and the intended
+	// permissions before any grant is created (Section 4.3.7).
+	PreSharing(initiator DomID, target DomID, gfn, count, flags uint64) error
+
+	// IOCrypt handles the retrofitted event-channel hypercall of the
+	// SEV-based I/O protection path (Section 4.3.5): re-encrypting
+	// between the guest's dedicated buffer Md and the shared I/O pages
+	// through the s-dom/r-dom firmware contexts.
+	IOCrypt(d *Domain, write bool, mdGFN, lba, count, sharedIdx uint64) error
+
+	// EnableSME sets the C-bit on the NPT leaf entries of d's memory,
+	// simulating SEV with the host SME key (Section 7.1's methodology).
+	EnableSME(d *Domain) error
+
+	// RegisterWriteOnce marks a page under the write-once policy
+	// (start-info and shared-info pages, Section 5.3).
+	RegisterWriteOnce(pfn hw.PFN) error
+
+	// DomainDestroyed runs at guest teardown so the trusted context can
+	// scrub its PIT and GIT records (Section 4.3.8).
+	DomainDestroyed(d *Domain) error
+}
+
+// Direct is the unprotected baseline: the hypervisor manages everything
+// itself with plain stores. All the attacks in internal/attack succeed
+// against this configuration.
+type Direct struct {
+	X *Xen
+}
+
+// Name implements Interposer.
+func (Direct) Name() string { return "xen" }
+
+// OnVMExit implements Interposer (no shadowing).
+func (Direct) OnVMExit(*Domain, hw.PhysAddr) error { return nil }
+
+// PreVMRun implements Interposer (no verification).
+func (Direct) PreVMRun(*Domain, hw.PhysAddr) error { return nil }
+
+// VMRun executes the VMRUN stub directly; the stub page is mapped.
+func (dr Direct) VMRun(vmcbPA hw.PhysAddr) error {
+	return dr.X.M.ExecStub(dr.X.M.Stubs.Vmrun, uint64(vmcbPA))
+}
+
+// NewPTPage implements Interposer (no tracking).
+func (Direct) NewPTPage(*Domain, hw.PFN) error { return nil }
+
+// WritePTE writes the entry with an ordinary supervisor store.
+func (dr Direct) WritePTE(_ *Domain, slot hw.PhysAddr, val mmu.PTE) error {
+	return dr.X.M.CPU.Write64(uint64(slot), uint64(val))
+}
+
+// WriteGrant writes the entry with an ordinary supervisor store.
+func (dr Direct) WriteGrant(_ *Domain, slot hw.PhysAddr, entry GrantEntry) error {
+	var buf [GrantEntrySize]byte
+	entry.Marshal(buf[:])
+	return dr.X.M.CPU.WriteVA(uint64(slot), buf[:])
+}
+
+// PreSharing is not available without Fidelius.
+func (Direct) PreSharing(DomID, DomID, uint64, uint64, uint64) error {
+	return ErrNoSuchHypercall
+}
+
+// IOCrypt is not available without Fidelius.
+func (Direct) IOCrypt(*Domain, bool, uint64, uint64, uint64, uint64) error {
+	return ErrNoSuchHypercall
+}
+
+// EnableSME is not available without Fidelius.
+func (Direct) EnableSME(*Domain) error { return ErrNoSuchHypercall }
+
+// RegisterWriteOnce implements Interposer (no policy without Fidelius).
+func (Direct) RegisterWriteOnce(hw.PFN) error { return nil }
+
+// DomainDestroyed implements Interposer (nothing to scrub).
+func (Direct) DomainDestroyed(*Domain) error { return nil }

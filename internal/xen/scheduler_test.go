@@ -1,0 +1,141 @@
+package xen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"fidelius/internal/disk"
+)
+
+func newTestDiskXS() *disk.Disk { return disk.New(64) }
+
+func TestScheduleInterleavesDomains(t *testing.T) {
+	x := newXen(t)
+	const n = 3
+	var doms []*Domain
+	order := []DomID{}
+	for i := 0; i < n; i++ {
+		d, err := x.CreateDomain(DomainConfig{Name: fmt.Sprintf("g%d", i), MemPages: 16, SEV: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doms = append(doms, d)
+		id := d.ID
+		rounds := 2 + i // different lifetimes
+		x.StartVCPU(d, func(g *GuestEnv) error {
+			for r := 0; r < rounds; r++ {
+				if _, err := g.Hypercall(HCVoid); err != nil {
+					return err
+				}
+				order = append(order, id)
+			}
+			return nil
+		})
+	}
+	errs := x.Schedule(doms)
+	if len(errs) != 0 {
+		t.Fatalf("scheduler errors: %v", errs)
+	}
+	// Each guest ran to completion.
+	counts := map[DomID]int{}
+	for _, id := range order {
+		counts[id]++
+	}
+	for i, d := range doms {
+		if counts[d.ID] != 2+i {
+			t.Errorf("domain %d ran %d rounds, want %d", d.ID, counts[d.ID], 2+i)
+		}
+	}
+	// Round-robin: the first three entries come from three distinct
+	// domains (one quantum each), not from one domain monopolising.
+	if len(order) < n {
+		t.Fatal("too few scheduling events")
+	}
+	seen := map[DomID]bool{}
+	for _, id := range order[:n] {
+		seen[id] = true
+	}
+	if len(seen) != n {
+		t.Errorf("first %d quanta came from %d domains; scheduling is not interleaved: %v", n, len(seen), order)
+	}
+}
+
+func TestScheduleCollectsPerDomainErrors(t *testing.T) {
+	x := newXen(t)
+	good, _ := x.CreateDomain(DomainConfig{Name: "good", MemPages: 16, SEV: true})
+	bad, _ := x.CreateDomain(DomainConfig{Name: "bad", MemPages: 16, SEV: true})
+	x.StartVCPU(good, func(g *GuestEnv) error {
+		_, err := g.Hypercall(HCVoid)
+		return err
+	})
+	x.StartVCPU(bad, func(g *GuestEnv) error {
+		return fmt.Errorf("guest panic")
+	})
+	errs := x.Schedule([]*Domain{good, bad})
+	if len(errs) != 1 {
+		t.Fatalf("want one error, got %v", errs)
+	}
+	if errs[bad.ID] == nil {
+		t.Fatal("bad domain's error missing")
+	}
+}
+
+func TestConsoleHypercall(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "con", MemPages: 16, SEV: true})
+	msg := "hello from the guest kernel! booting..."
+	x.StartVCPU(d, func(g *GuestEnv) error {
+		return g.ConsolePrint(msg)
+	})
+	if err := x.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.ConsoleLog(d.ID); !bytes.Equal(got, []byte(msg)) {
+		t.Fatalf("console log %q, want %q", got, msg)
+	}
+	// Console logs are per-domain.
+	if got := x.ConsoleLog(d.ID + 1); len(got) != 0 {
+		t.Fatal("foreign domain has console output")
+	}
+}
+
+func TestRunOnceAfterCompletion(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "done", MemPages: 16, SEV: true})
+	x.StartVCPU(d, func(g *GuestEnv) error { return nil })
+	if err := x.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	done, err := x.RunOnce(d)
+	if !done || err != nil {
+		t.Fatalf("RunOnce on a completed domain: done=%v err=%v", done, err)
+	}
+}
+
+func TestRunUnstartedDomain(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "idle", MemPages: 16, SEV: true})
+	if err := x.Run(d); err == nil {
+		t.Fatal("running an unstarted domain should error")
+	}
+}
+
+func TestXenStoreDevicePublication(t *testing.T) {
+	x := newXen(t)
+	d, _ := x.CreateDomain(DomainConfig{Name: "xs", MemPages: 32, SEV: true})
+	if _, err := x.AttachBlockDevice(d, newTestDiskXS(), 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	prefix := fmt.Sprintf("device/vbd/%d/", d.ID)
+	for key, want := range map[string]string{
+		"ring-gfn":      "1",
+		"data-gfn":      "2",
+		"data-pages":    "2",
+		"event-channel": "7",
+	} {
+		if got, ok := x.Store.Get(prefix + key); !ok || got != want {
+			t.Errorf("xenstore %s = %q (%v), want %q", key, got, ok, want)
+		}
+	}
+}

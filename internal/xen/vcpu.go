@@ -1,0 +1,502 @@
+package xen
+
+import (
+	"errors"
+	"fmt"
+
+	"fidelius/internal/cpu"
+	"fidelius/internal/cycles"
+	"fidelius/internal/hw"
+	"fidelius/internal/mmu"
+)
+
+// GuestFunc is a guest kernel: it runs on a vCPU goroutine against a
+// GuestEnv and returns when the guest shuts down.
+type GuestFunc func(g *GuestEnv) error
+
+// exitEvent carries guest state across the guest→host world switch.
+type exitEvent struct {
+	reason cpu.ExitReason
+	info1  uint64
+	info2  uint64
+	regs   [cpu.NumRegs]uint64
+	rip    uint64
+	done   bool
+	err    error
+}
+
+// resumeMsg carries (possibly hypervisor-modified) state back into the
+// guest on VMRUN.
+type resumeMsg struct {
+	regs [cpu.NumRegs]uint64
+	// fault injects a failure for the guest's faulting access: the
+	// hypervisor could not (or refused to) resolve the exit.
+	fault bool
+}
+
+// VCPU is a guest virtual CPU: a goroutine running the guest function,
+// synchronously handing control to the host on every VMEXIT. Exactly one
+// side runs at any time; the channels provide the happens-before edges.
+type VCPU struct {
+	dom    *Domain
+	x      *Xen
+	exitCh chan exitEvent
+	resume chan resumeMsg
+	halted bool
+	err    error
+}
+
+// GuestEnv is the machine as seen from inside the guest: virtual memory
+// through the two-dimensional SEV translation, hypercalls, CPUID, and the
+// guest's register file.
+type GuestEnv struct {
+	v    *VCPU
+	Regs [cpu.NumRegs]uint64
+	RIP  uint64
+
+	nested *mmu.Nested
+	paging bool
+
+	// tlb caches completed translations per page; it flushes whenever
+	// the host mutates this domain's NPT (tracked by Domain.NPTGen),
+	// mirroring a per-vCPU hardware TLB.
+	tlb    map[gTLBKey]hw.Access
+	tlbGen uint64
+
+	// Info is the guest's start info (read from the start-info page at
+	// boot).
+	Info StartInfo
+}
+
+type gTLBKey struct {
+	page uint64
+	acc  mmu.AccessType
+	raw  bool // the unencrypted (rawGPA) window
+}
+
+// Dom returns the domain this environment belongs to.
+func (g *GuestEnv) Dom() *Domain { return g.v.dom }
+
+// exit performs a VMEXIT and blocks until the hypervisor resumes the
+// guest. The register file crosses the boundary in both directions —
+// unencrypted, exactly as on SEV without -ES.
+func (g *GuestEnv) exit(reason cpu.ExitReason, info1, info2 uint64) bool {
+	g.v.exitCh <- exitEvent{reason: reason, info1: info1, info2: info2, regs: g.Regs, rip: g.RIP}
+	r := <-g.v.resume
+	g.Regs = r.regs
+	if gen := g.v.dom.NPTGen; gen != g.tlbGen {
+		g.tlb = nil
+		g.tlbGen = gen
+	}
+	return r.fault
+}
+
+// ErrInjectedFault is returned to guest code whose memory access the
+// hypervisor could not or would not back.
+var ErrInjectedFault = errors.New("xen: hypervisor injected fault")
+
+// translate resolves a guest address. Before paging is enabled, addresses
+// are guest-physical and — when SEV is on — accesses are encrypted with
+// the guest key (early boot runs entirely in encrypted memory). After
+// EnablePaging, the full two-dimensional walk applies, including the
+// C-bit priority rule. NPT violations exit to the hypervisor and retry.
+func (g *GuestEnv) translate(addr uint64, acc mmu.AccessType) (hw.Access, error) {
+	d := g.v.dom
+	key := gTLBKey{page: mmu.PageBase(addr), acc: acc}
+	if a, ok := g.tlb[key]; ok {
+		a.PA += hw.PhysAddr(addr & (hw.PageSize - 1))
+		g.v.x.M.Ctl.Cycles.Charge(1)
+		return a, nil
+	}
+	for {
+		if !g.paging {
+			tr, err := g.nested.NPT.Translate(addr, acc, true, false)
+			if err != nil {
+				if pf, ok := err.(*mmu.PageFault); ok {
+					if g.exit(cpu.ExitNPF, uint64(pf.Access), mmu.PageBase(addr)) {
+						return hw.Access{}, ErrInjectedFault
+					}
+					continue
+				}
+				return hw.Access{}, err
+			}
+			a := hw.Access{PA: tr.HPA + hw.PhysAddr(addr&(hw.PageSize-1))}
+			switch {
+			case d.SEV:
+				a.Encrypted, a.ASID = true, d.ASID
+			case tr.PTE.Encrypted():
+				// NPT C-bit: SME host-key encryption, the
+				// Fidelius-enc methodology of Section 7.1.
+				a.Encrypted, a.ASID = true, hw.HostASID
+			}
+			g.tlbInsert(key, a, addr)
+			return a, nil
+		}
+		tr, err := g.nested.Translate(addr, acc, false)
+		if err != nil {
+			if nv, ok := err.(*mmu.NPTViolation); ok {
+				if g.exit(cpu.ExitNPF, uint64(nv.Access), mmu.PageBase(nv.GPA)) {
+					return hw.Access{}, ErrInjectedFault
+				}
+				continue
+			}
+			return hw.Access{}, err // guest-side page fault: guest kernel's problem
+		}
+		a := hw.Access{
+			PA:        tr.HPA + hw.PhysAddr(addr&(hw.PageSize-1)),
+			Encrypted: tr.Encrypted,
+			ASID:      tr.ASID,
+		}
+		g.tlbInsert(key, a, addr)
+		return a, nil
+	}
+}
+
+// tlbInsert caches the page-base translation for key.
+func (g *GuestEnv) tlbInsert(key gTLBKey, a hw.Access, addr uint64) {
+	if g.tlb == nil {
+		g.tlb = make(map[gTLBKey]hw.Access)
+	}
+	base := a
+	base.PA -= hw.PhysAddr(addr & (hw.PageSize - 1))
+	g.tlb[key] = base
+}
+
+func (g *GuestEnv) access(addr uint64, buf []byte, acc mmu.AccessType) error {
+	done := 0
+	for done < len(buf) {
+		cur := addr + uint64(done)
+		n := int(hw.PageSize - cur&(hw.PageSize-1))
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		a, err := g.translate(cur, acc)
+		if err != nil {
+			return err
+		}
+		if acc == mmu.Write {
+			err = g.v.x.M.Ctl.Write(a, buf[done:done+n])
+		} else {
+			err = g.v.x.M.Ctl.Read(a, buf[done:done+n])
+		}
+		if err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// Read reads guest memory at a guest (virtual, once paging is on) address.
+func (g *GuestEnv) Read(addr uint64, buf []byte) error { return g.access(addr, buf, mmu.Read) }
+
+// Write writes guest memory.
+func (g *GuestEnv) Write(addr uint64, data []byte) error { return g.access(addr, data, mmu.Write) }
+
+// Read64 reads a little-endian word from guest memory.
+func (g *GuestEnv) Read64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := g.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write64 writes a little-endian word to guest memory.
+func (g *GuestEnv) Write64(addr, val uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(val >> (8 * i))
+	}
+	return g.Write(addr, b[:])
+}
+
+// WriteUnencrypted writes guest memory forcing the C-bit off — used by PV
+// drivers to fill DMA-visible shared buffers before paging-based C-bit
+// control is set up.
+func (g *GuestEnv) WriteUnencrypted(gpa uint64, data []byte) error {
+	return g.rawGPA(gpa, data, mmu.Write)
+}
+
+// ReadUnencrypted reads guest memory forcing the C-bit off.
+func (g *GuestEnv) ReadUnencrypted(gpa uint64, buf []byte) error {
+	return g.rawGPA(gpa, buf, mmu.Read)
+}
+
+func (g *GuestEnv) rawGPA(gpa uint64, buf []byte, acc mmu.AccessType) error {
+	done := 0
+	for done < len(buf) {
+		cur := gpa + uint64(done)
+		n := int(hw.PageSize - cur&(hw.PageSize-1))
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		var a hw.Access
+		key := gTLBKey{page: mmu.PageBase(cur), acc: acc, raw: true}
+		if c, ok := g.tlb[key]; ok {
+			a = c
+			a.PA += hw.PhysAddr(cur & (hw.PageSize - 1))
+			g.v.x.M.Ctl.Cycles.Charge(1)
+		} else {
+			for {
+				tr, err := g.nested.NPT.Translate(cur, acc, true, false)
+				if err != nil {
+					if pf, ok := err.(*mmu.PageFault); ok {
+						if g.exit(cpu.ExitNPF, uint64(pf.Access), mmu.PageBase(cur)) {
+							return ErrInjectedFault
+						}
+						continue
+					}
+					return err
+				}
+				a = hw.Access{PA: tr.HPA + hw.PhysAddr(cur&(hw.PageSize-1))}
+				g.tlbInsert(key, a, cur)
+				break
+			}
+		}
+		var err error
+		if acc == mmu.Write {
+			err = g.v.x.M.Ctl.Write(a, buf[done:done+n])
+		} else {
+			err = g.v.x.M.Ctl.Read(a, buf[done:done+n])
+		}
+		if err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// Hypercall issues a hypercall: nr in R0, up to five arguments in R1..R5;
+// the result comes back in R0 and the error code in R1 (0 = ok).
+func (g *GuestEnv) Hypercall(nr uint64, args ...uint64) (uint64, error) {
+	g.Regs[0] = nr
+	for i := 1; i <= 5; i++ {
+		g.Regs[i] = 0
+	}
+	for i, a := range args {
+		if i >= 5 {
+			break
+		}
+		g.Regs[1+i] = a
+	}
+	g.exit(cpu.ExitVMMCALL, nr, 0)
+	if g.Regs[1] != 0 {
+		return g.Regs[0], fmt.Errorf("xen: hypercall %d failed: errno %d", nr, g.Regs[1])
+	}
+	return g.Regs[0], nil
+}
+
+// CPUID executes CPUID, exiting to the hypervisor which fills R0..R3.
+func (g *GuestEnv) CPUID(leaf uint32) [4]uint64 {
+	g.Regs[0] = uint64(leaf)
+	g.exit(cpu.ExitCPUID, uint64(leaf), 0)
+	return [4]uint64{g.Regs[0], g.Regs[1], g.Regs[2], g.Regs[3]}
+}
+
+// Halt exits with HLT (idle); the hypervisor resumes the guest
+// immediately in this synchronous model.
+func (g *GuestEnv) Halt() { g.exit(cpu.ExitHLT, 0, 0) }
+
+// Charge adds guest compute cycles to the machine counter (the ALU work
+// of the synthetic workloads).
+func (g *GuestEnv) Charge(n uint64) { g.v.x.M.Ctl.Cycles.Charge(n) }
+
+// Cycles reads the machine cycle counter (the guest's TSC).
+func (g *GuestEnv) Cycles() uint64 { return g.v.x.M.Ctl.Cycles.Total() }
+
+// ConsolePrint writes a string to the domain's console through the
+// console hypercall, eight bytes per exit.
+func (g *GuestEnv) ConsolePrint(s string) error {
+	for len(s) > 0 {
+		n := len(s)
+		if n > 8 {
+			n = 8
+		}
+		var word uint64
+		for i := 0; i < n; i++ {
+			word |= uint64(s[i]) << (8 * i)
+		}
+		if _, err := g.Hypercall(HCConsoleIO, word, uint64(n)); err != nil {
+			return err
+		}
+		s = s[n:]
+	}
+	return nil
+}
+
+// BuildIdentityPT constructs an identity-mapped guest page table (GVA ==
+// GPA) in the top frames of guest memory, with the C-bit set on every
+// leaf except the frames listed in plainGFNs (the DMA-shared pages). It
+// returns the guest root GPA. Runs pre-paging, writing through
+// guest-physical access.
+func (g *GuestEnv) BuildIdentityPT(plainGFNs map[uint64]bool) (uint64, error) {
+	d := g.v.dom
+	n := uint64(d.MemPages)
+	// Table pages from the top of guest memory downward.
+	nextTable := n
+	allocTable := func() (uint64, error) {
+		if nextTable == 0 {
+			return 0, fmt.Errorf("xen: guest out of frames for page tables")
+		}
+		nextTable--
+		zero := make([]byte, hw.PageSize)
+		if err := g.rawGPAEncrypted(nextTable<<hw.PageShift, zero); err != nil {
+			return 0, err
+		}
+		return nextTable, nil
+	}
+	rootGFN, err := allocTable()
+	if err != nil {
+		return 0, err
+	}
+	// Walk-and-fill: 3 levels over [0, n) frames.
+	writePTE := func(tableGFN uint64, idx int, pte mmu.PTE) error {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(uint64(pte) >> (8 * i))
+		}
+		return g.rawGPAEncrypted(tableGFN<<hw.PageShift+uint64(idx*8), b[:])
+	}
+	readPTE := func(tableGFN uint64, idx int) (mmu.PTE, error) {
+		var b [8]byte
+		if err := g.rawGPAReadEncrypted(tableGFN<<hw.PageShift+uint64(idx*8), b[:]); err != nil {
+			return 0, err
+		}
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(b[i]) << (8 * i)
+		}
+		return mmu.PTE(v), nil
+	}
+	// Map the guest's own memory plus the grant window above it, where
+	// foreign shared pages appear. Shared memory must be plaintext
+	// (no C-bit): each guest has its own key, so cross-VM sharing and
+	// DMA both require unencrypted pages (Section 2.2).
+	for gfn := uint64(0); gfn < n+GrantWindowPages; gfn++ {
+		va := gfn << hw.PageShift
+		table := rootGFN
+		for level := mmu.Levels - 1; level > 0; level-- {
+			idx := mmu.Index(va, level)
+			entry, err := readPTE(table, idx)
+			if err != nil {
+				return 0, err
+			}
+			if !entry.Present() {
+				nt, err := allocTable()
+				if err != nil {
+					return 0, err
+				}
+				entry = mmu.MakePTE(hw.PFN(nt), mmu.FlagP|mmu.FlagW|mmu.FlagU)
+				if err := writePTE(table, idx, entry); err != nil {
+					return 0, err
+				}
+			}
+			table = uint64(entry.PFN())
+		}
+		flags := mmu.FlagP | mmu.FlagW | mmu.FlagC
+		if plainGFNs[gfn] || gfn >= n {
+			flags &^= mmu.FlagC
+		}
+		if err := writePTE(table, mmu.Index(va, 0), mmu.MakePTE(hw.PFN(gfn), flags)); err != nil {
+			return 0, err
+		}
+	}
+	return rootGFN << hw.PageShift, nil
+}
+
+// rawGPAEncrypted writes guest-physical memory with the guest key (the
+// pre-paging default when SEV is on).
+func (g *GuestEnv) rawGPAEncrypted(gpa uint64, data []byte) error {
+	return g.access(gpa, data, mmu.Write)
+}
+
+func (g *GuestEnv) rawGPAReadEncrypted(gpa uint64, buf []byte) error {
+	return g.access(gpa, buf, mmu.Read)
+}
+
+// EnablePaging switches the guest to virtual addressing with the page
+// table rooted at rootGPA.
+func (g *GuestEnv) EnablePaging(rootGPA uint64) {
+	g.nested.GuestRoot = rootGPA
+	g.paging = true
+}
+
+// PagingEnabled reports whether the guest has enabled paging.
+func (g *GuestEnv) PagingEnabled() bool { return g.paging }
+
+// StartVCPU launches the guest function on a new vCPU goroutine. The
+// guest blocks immediately, waiting for the first VMRUN.
+func (x *Xen) StartVCPU(d *Domain, fn GuestFunc) *VCPU {
+	v := &VCPU{
+		dom:    d,
+		x:      x,
+		exitCh: make(chan exitEvent),
+		resume: make(chan resumeMsg),
+	}
+	d.vcpu = v
+	go func() {
+		r := <-v.resume // first VMRUN
+		g := &GuestEnv{
+			v:    v,
+			Regs: r.regs,
+			Info: d.Info,
+			nested: &mmu.Nested{
+				Ctl:              x.M.Ctl,
+				NPT:              d.NPT,
+				ASID:             d.ASID,
+				GuestPTEncrypted: d.SEV,
+			},
+		}
+		err := fn(g)
+		v.exitCh <- exitEvent{reason: cpu.ExitShutdown, regs: g.Regs, done: true, err: err}
+	}()
+	return v
+}
+
+// worldSwitch is installed as the CPU's VMRUN handler: it resumes the
+// guest goroutine with the register file from the VMCB, waits for the
+// next exit, and writes the guest state back into the VMCB and the CPU's
+// (plaintext!) register file.
+func (x *Xen) worldSwitch(vmcbPA uint64) error {
+	d, ok := x.vmcbToDom[hw.PhysAddr(vmcbPA)]
+	if !ok {
+		return fmt.Errorf("xen: vmrun with unknown vmcb %#x", vmcbPA)
+	}
+	v := d.vcpu
+	if v == nil {
+		return fmt.Errorf("xen: domain %d has no vcpu", d.ID)
+	}
+	if v.halted {
+		return fmt.Errorf("xen: domain %d vcpu already shut down", d.ID)
+	}
+	vmcb, err := cpu.LoadVMCB(x.M.Ctl, hw.PhysAddr(vmcbPA))
+	if err != nil {
+		return err
+	}
+	v.resume <- resumeMsg{regs: vmcb.Regs, fault: d.pendingFault}
+	d.pendingFault = false
+	ev := <-v.exitCh
+	x.M.Ctl.Cycles.Charge(cycles.VMExit)
+	if ev.done {
+		v.halted = true
+		v.err = ev.err
+	}
+	vmcb.ExitCode = ev.reason
+	vmcb.ExitInfo1 = ev.info1
+	vmcb.ExitInfo2 = ev.info2
+	vmcb.Regs = ev.regs
+	vmcb.RIP = ev.rip
+	if err := cpu.StoreVMCB(x.M.Ctl, hw.PhysAddr(vmcbPA), vmcb); err != nil {
+		return err
+	}
+	// The guest's general purpose registers land in the host register
+	// file in plaintext — the SEV-without-ES exposure of Section 2.2.
+	x.M.CPU.Regs = ev.regs
+	return nil
+}

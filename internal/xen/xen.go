@@ -1,0 +1,211 @@
+package xen
+
+import (
+	"errors"
+	"fmt"
+
+	"fidelius/internal/cpu"
+	"fidelius/internal/hw"
+	"fidelius/internal/mmu"
+)
+
+// ErrNoSuchHypercall reports an unimplemented hypercall number.
+var ErrNoSuchHypercall = errors.New("xen: no such hypercall")
+
+// CPUIDModel is the canonical CPUID response of the simulated processor.
+// Fidelius's Iago policy verifies the hypervisor returns exactly these
+// values (Section 6.2, "the Iago attacks can be avoided since ...
+// appropriate policies can be defined to check the values returned by the
+// hypervisor before VMRUN").
+var CPUIDModel = [4]uint64{0x0F1DE115, 0x414D44, 0x5345, 0x56}
+
+// Xen is the hypervisor. It provides services (exit handling, scheduling,
+// hypercalls, I/O backends) and — in the unprotected baseline — also
+// manages every critical resource directly.
+type Xen struct {
+	M *Machine
+
+	// Interpose is the resource-management seam; Fidelius replaces it.
+	Interpose Interposer
+
+	Doms      map[DomID]*Domain
+	nextDom   DomID
+	nextASID  hw.ASID
+	Store     *XenStore
+	Events    *EventBus
+	vmcbToDom map[hw.PhysAddr]*Domain
+
+	// backends maps domain ID to its block backend.
+	backends map[DomID]*BlockBackend
+
+	// console holds each domain's console output (HCConsoleIO).
+	console map[DomID][]byte
+
+	// CycleAccount attributes simulated cycles to the domain whose
+	// quantum consumed them (filled by RunOnce).
+	CycleAccount map[DomID]uint64
+
+	// Stats for tests and benchmarks.
+	ExitCounts map[cpu.ExitReason]uint64
+}
+
+// New boots the hypervisor on a machine.
+func New(m *Machine) (*Xen, error) {
+	x := &Xen{
+		M:            m,
+		Doms:         make(map[DomID]*Domain),
+		nextDom:      1, // dom0 is the host itself
+		nextASID:     1,
+		Store:        newXenStore(),
+		vmcbToDom:    make(map[hw.PhysAddr]*Domain),
+		backends:     make(map[DomID]*BlockBackend),
+		console:      make(map[DomID][]byte),
+		CycleAccount: make(map[DomID]uint64),
+		ExitCounts:   make(map[cpu.ExitReason]uint64),
+	}
+	x.Events = newEventBus(func(n uint64) { m.Ctl.Cycles.Charge(n) })
+	x.Interpose = Direct{X: x}
+	m.CPU.VMRunFn = x.worldSwitch
+	if err := m.FW.Init(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// RunOnce executes one scheduling quantum of the domain: enter the
+// guest, take one VMEXIT through the interposer boundary hooks, and
+// dispatch it. It returns done=true when the guest function has
+// returned.
+func (x *Xen) RunOnce(d *Domain) (done bool, err error) {
+	v := d.vcpu
+	if v == nil {
+		return true, fmt.Errorf("xen: domain %d not started", d.ID)
+	}
+	if v.halted {
+		return true, v.err
+	}
+	start := x.M.Ctl.Cycles.Total()
+	defer func() { x.CycleAccount[d.ID] += x.M.Ctl.Cycles.Sub(start) }()
+	if err := x.Interpose.PreVMRun(d, d.VMCBPA()); err != nil {
+		return true, fmt.Errorf("xen: entry to %s vetoed: %w", d.Name, err)
+	}
+	if err := x.Interpose.VMRun(d.VMCBPA()); err != nil {
+		return true, fmt.Errorf("xen: vmrun for %s: %w", d.Name, err)
+	}
+	// Guest has exited; the boundary hook shadows before any hypervisor
+	// code inspects the state.
+	if err := x.Interpose.OnVMExit(d, d.VMCBPA()); err != nil {
+		return true, err
+	}
+	if v.halted {
+		return true, v.err
+	}
+	if err := x.handleExit(d); err != nil {
+		return true, err
+	}
+	return false, nil
+}
+
+// Run schedules the domain's vCPU until the guest function returns,
+// dispatching every VMEXIT through the interposer boundary hooks and the
+// hypervisor's handlers. It returns the guest function's error.
+func (x *Xen) Run(d *Domain) error {
+	for {
+		done, err := x.RunOnce(d)
+		if done {
+			return err
+		}
+	}
+}
+
+// Schedule round-robins a set of started domains, one exit per quantum,
+// until every guest function has returned — the hypervisor's scheduling
+// service, which Fidelius deliberately leaves in its hands (Section 3.1).
+// It returns the first error of each domain, keyed by ID.
+func (x *Xen) Schedule(doms []*Domain) map[DomID]error {
+	errs := make(map[DomID]error)
+	pending := append([]*Domain{}, doms...)
+	for len(pending) > 0 {
+		next := pending[:0]
+		for _, d := range pending {
+			done, err := x.RunOnce(d)
+			if done {
+				if err != nil {
+					errs[d.ID] = err
+				}
+				continue
+			}
+			next = append(next, d)
+		}
+		pending = next
+	}
+	return errs
+}
+
+// handleExit is the hypervisor's VMEXIT dispatcher.
+func (x *Xen) handleExit(d *Domain) error {
+	vmcb, err := cpu.LoadVMCB(x.M.Ctl, d.VMCBPA())
+	if err != nil {
+		return err
+	}
+	x.ExitCounts[vmcb.ExitCode]++
+	switch vmcb.ExitCode {
+	case cpu.ExitVMMCALL:
+		res, errno := x.hypercall(d, vmcb.Regs)
+		vmcb.Regs[0] = res
+		vmcb.Regs[1] = errno
+	case cpu.ExitCPUID:
+		// Only these four registers may change — the Section 5.1
+		// policy example.
+		copy(vmcb.Regs[:4], CPUIDModel[:])
+	case cpu.ExitNPF:
+		if err := x.handleNPF(d, vmcb.ExitInfo2, mmu.AccessType(vmcb.ExitInfo1)); err != nil {
+			// Unresolvable (or policy-vetoed) fault: inject it into
+			// the guest rather than killing the platform.
+			d.pendingFault = true
+		}
+	case cpu.ExitHLT:
+		// Idle: nothing to do in the synchronous model.
+	default:
+		return fmt.Errorf("xen: unhandled exit %v", vmcb.ExitCode)
+	}
+	return cpu.StoreVMCB(x.M.Ctl, d.VMCBPA(), vmcb)
+}
+
+// handleNPF backs an unmapped GPA with a fresh frame (lazy population) or
+// upgrades permissions. Every NPT write goes through the interposer gate.
+func (x *Xen) handleNPF(d *Domain, gpa uint64, _ mmu.AccessType) error {
+	gfn := gpa >> hw.PageShift
+	if gfn >= uint64(len(d.Frames)) {
+		return fmt.Errorf("xen: domain %d faulted beyond its memory at gpa %#x", d.ID, gpa)
+	}
+	pfn := d.Frames[gfn]
+	if pfn == 0 {
+		var err error
+		pfn, err = x.M.Alloc.Alloc(UseGuest, d.ID)
+		if err != nil {
+			return err
+		}
+		d.Frames[gfn] = pfn
+	}
+	return x.MapNPT(d, gpa&^uint64(hw.PageSize-1), mmu.MakePTE(pfn, mmu.FlagP|mmu.FlagW|mmu.FlagU))
+}
+
+// Dom returns a domain by ID.
+func (x *Xen) Dom(id DomID) (*Domain, bool) {
+	d, ok := x.Doms[id]
+	return d, ok
+}
+
+// DomByVMCB returns the domain whose VMCB lives at the given physical
+// address.
+func (x *Xen) DomByVMCB(pa hw.PhysAddr) (*Domain, bool) {
+	d, ok := x.vmcbToDom[pa]
+	return d, ok
+}
+
+// ConsoleLog returns everything a domain has written through the console
+// hypercall.
+func (x *Xen) ConsoleLog(id DomID) []byte {
+	return append([]byte{}, x.console[id]...)
+}
