@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt examples tables attacks xsa demo clean
+.PHONY: all build test race bench vet fmt check trace examples tables attacks xsa demo clean
 
 all: build test
+
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -40,6 +42,10 @@ xsa:
 
 demo:
 	$(GO) run ./cmd/fidelius-demo
+
+trace:
+	$(GO) run ./cmd/fidelius-demo -trace fidelius-trace.json -metrics
+	@echo "load fidelius-trace.json in chrome://tracing or https://ui.perfetto.dev"
 
 clean:
 	$(GO) clean ./...

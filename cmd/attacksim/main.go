@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	attacksim [-config xen|fidelius|both]
+//	attacksim [-config xen|fidelius|both] [-trace dir] [-metrics]
+//
+// -trace writes a Chrome trace_event timeline per attack into the
+// directory; -metrics prints each attack's key telemetry counters
+// (violations raised, gate crossings) next to its verdict.
 package main
 
 import (
@@ -14,14 +18,24 @@ import (
 	"fidelius/internal/attack"
 )
 
+var (
+	traceDir = flag.String("trace", "", "write per-attack Chrome trace_event timelines into this directory")
+	metrics  = flag.Bool("metrics", false, "print per-attack telemetry counters")
+)
+
 func run(protected bool) {
-	outcomes, err := attack.RunAll(protected)
+	outcomes, err := attack.RunAllTo(protected, *traceDir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	blocked := 0
 	for _, o := range outcomes {
 		fmt.Println(o)
+		if *metrics {
+			c := o.Metrics.Counters
+			fmt.Printf("%-28s %-9s   violations.total=%d gate.type1=%d gate.type2=%d gate.type3=%d cpu.vmexits=%d\n",
+				"", "", c["violations.total"], c["gate.type1"], c["gate.type2"], c["gate.type3"], c["cpu.vmexits"])
+		}
 		if !o.Succeeded {
 			blocked++
 		}

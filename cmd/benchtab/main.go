@@ -46,6 +46,14 @@ func main() {
 
 	all := !*fig5 && !*fig6 && !*table3 && !*micro && !*ablation
 
+	if *csvDir != "" {
+		snap, err := bench.CaptureTelemetry(*iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeCSV("telemetry.csv", func(f *os.File) error { return bench.WriteTelemetryCSV(f, snap) })
+	}
+
 	if all || *fig5 {
 		rows, err := bench.Figure5(*iters)
 		if err != nil {

@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	fidelius-demo
+//	fidelius-demo [-trace out.json] [-metrics]
+//
+// -trace captures the whole session as a Chrome trace_event timeline
+// (loadable in chrome://tracing or Perfetto); -metrics prints the
+// telemetry registry snapshot after the run.
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"fidelius"
 	"fidelius/internal/xen"
@@ -20,10 +26,25 @@ import (
 func step(n int, title string) { fmt.Printf("\n[%d] %s\n", n, title) }
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline of the session to this file")
+	metrics := flag.Bool("metrics", false, "print the telemetry metric snapshot after the run")
+	flag.Parse()
+
 	step(1, "System initialisation (§4.3.1): boot machine, hypervisor, late-launch Fidelius")
 	plat, err := fidelius.NewPlatform(fidelius.Config{Protected: true})
 	if err != nil {
 		log.Fatal(err)
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		// Create the output file up front so a bad path fails before the
+		// walkthrough, and start before LaunchVM so the SEV boot commands
+		// are on the timeline too.
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plat.StartTrace(0)
 	}
 	fmt.Printf("    hypervisor code measured: %x…\n", plat.F.HypervisorMeasurement[:12])
 	fmt.Println("    privileged instructions monopolised, page tables write-protected,")
@@ -166,4 +187,25 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("    done; policy violations during the benign session: %d\n", len(plat.Violations()))
+
+	step(9, "Observability: audit log, metrics, timeline")
+	fmt.Print("    ")
+	plat.DumpViolations(os.Stdout)
+	if *metrics {
+		if err := plat.Metrics().WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if traceFile != nil {
+		if err := plat.WriteTrace(traceFile); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if tr := plat.Telemetry().Trace(); tr != nil {
+			fmt.Printf("    timeline: %d events (%d dropped) written to %s\n",
+				len(tr.Events()), tr.Dropped(), *traceOut)
+		}
+	}
 }

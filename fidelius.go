@@ -25,10 +25,12 @@ import (
 	"crypto/ecdh"
 	"crypto/ecdsa"
 	"fmt"
+	"io"
 
 	"fidelius/internal/core"
 	"fidelius/internal/disk"
 	"fidelius/internal/sev"
+	"fidelius/internal/telemetry"
 	"fidelius/internal/xen"
 )
 
@@ -246,6 +248,40 @@ func (p *Platform) Violations() []Violation {
 	}
 	return p.F.Violations
 }
+
+// DumpViolations writes the Fidelius audit log in a human-readable form.
+func (p *Platform) DumpViolations(w io.Writer) {
+	vs := p.Violations()
+	if len(vs) == 0 {
+		fmt.Fprintln(w, "no policy violations recorded")
+		return
+	}
+	fmt.Fprintf(w, "%d policy violation(s):\n", len(vs))
+	for i, v := range vs {
+		fmt.Fprintf(w, "  %3d  [%s] %s\n", i+1, v.Kind, v.Detail)
+	}
+}
+
+// Telemetry returns the platform's telemetry hub: the unified metrics
+// registry plus the event tracer every layer of the machine reports into.
+func (p *Platform) Telemetry() *telemetry.Hub { return p.X.M.Ctl.Telem }
+
+// Metrics snapshots every counter, gauge and histogram on the platform.
+func (p *Platform) Metrics() telemetry.Snapshot { return p.Telemetry().Reg.Snapshot() }
+
+// StartTrace begins capturing timeline events into a bounded ring buffer
+// (capacity in events; 0 selects the default). Tracing costs one event
+// record per instrumented operation; when no trace is active the
+// instrumentation reduces to a single atomic load.
+func (p *Platform) StartTrace(capacity int) { p.Telemetry().StartTrace(capacity) }
+
+// StopTrace stops capturing and detaches the current trace buffer.
+func (p *Platform) StopTrace() { p.Telemetry().StopTrace() }
+
+// WriteTrace renders the captured events as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto. Processes are VMs (pid =
+// domain ID), threads are ASIDs.
+func (p *Platform) WriteTrace(w io.Writer) error { return p.Telemetry().WriteChromeTrace(w) }
 
 // NewDisk creates a virtual disk with the given number of 512-byte
 // sectors.

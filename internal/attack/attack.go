@@ -8,11 +8,14 @@ package attack
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"fidelius/internal/core"
 	"fidelius/internal/disk"
 	"fidelius/internal/hw"
 	"fidelius/internal/sev"
+	"fidelius/internal/telemetry"
 	"fidelius/internal/xen"
 )
 
@@ -22,6 +25,10 @@ type Outcome struct {
 	Config    string // "xen" or "fidelius"
 	Succeeded bool   // the attacker achieved the goal
 	Detail    string
+
+	// Metrics is the platform's telemetry snapshot after the attack
+	// (filled by RunAllTo; zero for directly constructed outcomes).
+	Metrics telemetry.Snapshot
 }
 
 func (o Outcome) String() string {
@@ -282,13 +289,46 @@ func All() []Attack {
 // RunAll executes every attack against a fresh platform per attack (some
 // attacks perturb global state).
 func RunAll(protected bool) ([]Outcome, error) {
+	return RunAllTo(protected, "")
+}
+
+// RunAllTo is RunAll with observability: each outcome carries the
+// platform's telemetry snapshot, and when traceDir is non-empty a Chrome
+// trace_event timeline of each attack is written to
+// <traceDir>/<attack-name>.<config>.json.
+func RunAllTo(protected bool, traceDir string) ([]Outcome, error) {
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	var out []Outcome
 	for _, a := range All() {
 		p, err := Setup(protected)
 		if err != nil {
 			return nil, fmt.Errorf("setting up for %s: %w", a.Name(), err)
 		}
-		out = append(out, a.Run(p))
+		hub := p.X.M.Ctl.Telem
+		if traceDir != "" {
+			hub.StartTrace(0)
+		}
+		o := a.Run(p)
+		o.Metrics = hub.Reg.Snapshot()
+		if traceDir != "" {
+			name := filepath.Join(traceDir, fmt.Sprintf("%s.%s.json", a.Name(), o.Config))
+			f, err := os.Create(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := hub.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, o)
 	}
 	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fidelius/internal/core"
 	"fidelius/internal/cycles"
 	"fidelius/internal/disk"
+	"fidelius/internal/telemetry"
 	"fidelius/internal/workload"
 	"fidelius/internal/xen"
 )
@@ -65,13 +66,21 @@ func NewPlatform(config string, memPages int) (*Platform, error) {
 	return p, nil
 }
 
-// FigRow is one benchmark's overhead row for Figures 5 and 6.
+// FigRow is one benchmark's overhead row for Figures 5 and 6, annotated
+// with the telemetry counters of the Fidelius-configuration run — the same
+// registry metrics every tool reports (gate.type1/2/3, cpu.vmexits).
 type FigRow struct {
 	Name     string
 	Fid      float64 // measured Fidelius overhead (%)
 	Enc      float64 // measured Fidelius-enc overhead (%)
 	PaperFid float64
 	PaperEnc float64
+
+	// Telemetry counters from the Fidelius run.
+	Gate1   uint64
+	Gate2   uint64
+	Gate3   uint64
+	VMExits uint64
 }
 
 // runSuite measures one suite's overheads across the three configurations.
@@ -79,6 +88,7 @@ func runSuite(profiles []workload.Profile, iters int) ([]FigRow, error) {
 	var rows []FigRow
 	for _, prof := range profiles {
 		var results [3]workload.Result
+		var fidSnap telemetry.Snapshot
 		for i, cfg := range Configs {
 			p, err := NewPlatform(cfg, workload.GuestMemPages)
 			if err != nil {
@@ -88,6 +98,9 @@ func runSuite(profiles []workload.Profile, iters int) ([]FigRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bench %s/%s: %w", prof.Name, cfg, err)
 			}
+			if cfg == ConfigFidelius {
+				fidSnap = p.X.M.Ctl.Telem.Reg.Snapshot()
+			}
 		}
 		rows = append(rows, FigRow{
 			Name:     prof.Name,
@@ -95,9 +108,27 @@ func runSuite(profiles []workload.Profile, iters int) ([]FigRow, error) {
 			Enc:      results[2].Overhead(results[0]),
 			PaperFid: prof.PaperFid,
 			PaperEnc: prof.PaperEnc,
+			Gate1:    fidSnap.Counters["gate.type1"],
+			Gate2:    fidSnap.Counters["gate.type2"],
+			Gate3:    fidSnap.Counters["gate.type3"],
+			VMExits:  fidSnap.Counters["cpu.vmexits"],
 		})
 	}
 	return rows, nil
+}
+
+// CaptureTelemetry boots a Fidelius platform, runs one SPEC profile, and
+// returns the full registry snapshot — the whole metric namespace as
+// exercised by a protected run, for export next to the paper tables.
+func CaptureTelemetry(iters int) (telemetry.Snapshot, error) {
+	p, err := NewPlatform(ConfigFidelius, workload.GuestMemPages)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	if _, err := workload.Run(p.X, p.D, workload.SPEC()[0], iters); err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	return p.X.M.Ctl.Telem.Reg.Snapshot(), nil
 }
 
 // Figure5 reproduces the SPEC CPU 2006 overhead figure.
@@ -115,12 +146,21 @@ func Average(rows []FigRow) FigRow {
 		avg.Enc += r.Enc
 		avg.PaperFid += r.PaperFid
 		avg.PaperEnc += r.PaperEnc
+		avg.Gate1 += r.Gate1
+		avg.Gate2 += r.Gate2
+		avg.Gate3 += r.Gate3
+		avg.VMExits += r.VMExits
 	}
 	n := float64(len(rows))
 	avg.Fid /= n
 	avg.Enc /= n
 	avg.PaperFid /= n
 	avg.PaperEnc /= n
+	un := uint64(len(rows))
+	avg.Gate1 /= un
+	avg.Gate2 /= un
+	avg.Gate3 /= un
+	avg.VMExits /= un
 	return avg
 }
 

@@ -4,16 +4,23 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 
+	"fidelius/internal/telemetry"
 	"fidelius/internal/workload"
 )
 
 // CSV export, so the figure data can be re-plotted outside Go.
 
-// WriteFigureCSV streams a figure's rows (plus the average) as CSV.
+// WriteFigureCSV streams a figure's rows (plus the average) as CSV. The
+// trailing columns are named after the telemetry registry metrics they
+// carry, so plots can join them against WriteTelemetryCSV output.
 func WriteFigureCSV(w io.Writer, rows []FigRow) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"benchmark", "fidelius_pct", "fidelius_enc_pct", "paper_fid_pct", "paper_enc_pct"}); err != nil {
+	if err := cw.Write([]string{
+		"benchmark", "fidelius_pct", "fidelius_enc_pct", "paper_fid_pct", "paper_enc_pct",
+		"gate.type1", "gate.type2", "gate.type3", "cpu.vmexits",
+	}); err != nil {
 		return err
 	}
 	all := append(append([]FigRow{}, rows...), Average(rows))
@@ -24,8 +31,45 @@ func WriteFigureCSV(w io.Writer, rows []FigRow) error {
 			fmt.Sprintf("%.3f", r.Enc),
 			fmt.Sprintf("%.3f", r.PaperFid),
 			fmt.Sprintf("%.3f", r.PaperEnc),
+			fmt.Sprint(r.Gate1),
+			fmt.Sprint(r.Gate2),
+			fmt.Sprint(r.Gate3),
+			fmt.Sprint(r.VMExits),
 		}
 		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTelemetryCSV streams a registry snapshot as metric,value CSV rows,
+// sorted by metric name. Histograms expand to .count, .sum and .mean rows.
+func WriteTelemetryCSV(w io.Writer, s telemetry.Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "value"}); err != nil {
+		return err
+	}
+	rows := make(map[string]string, len(s.Counters)+len(s.Gauges)+3*len(s.Histograms))
+	for k, v := range s.Counters {
+		rows[k] = fmt.Sprint(v)
+	}
+	for k, v := range s.Gauges {
+		rows[k] = fmt.Sprint(v)
+	}
+	for k, h := range s.Histograms {
+		rows[k+".count"] = fmt.Sprint(h.Count)
+		rows[k+".sum"] = fmt.Sprint(h.Sum)
+		rows[k+".mean"] = fmt.Sprintf("%.3f", h.Mean())
+	}
+	names := make([]string, 0, len(rows))
+	for k := range rows {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if err := cw.Write([]string{k, rows[k]}); err != nil {
 			return err
 		}
 	}

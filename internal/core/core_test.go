@@ -360,22 +360,22 @@ func TestGateStatsAccumulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Stats.Gate1 == 0 {
+	if f.Stats().Gate1 == 0 {
 		t.Fatal("no type 1 gate transitions during domain build")
 	}
 	x.StartVCPU(d, func(g *xen.GuestEnv) error {
 		_, err := g.Hypercall(xen.HCVoid)
 		return err
 	})
-	g3 := f.Stats.Gate3
-	sh := f.Stats.Shadows
+	g3 := f.Stats().Gate3
+	sh := f.Stats().Shadows
 	if err := x.Run(d); err != nil {
 		t.Fatal(err)
 	}
-	if f.Stats.Gate3 <= g3 {
+	if f.Stats().Gate3 <= g3 {
 		t.Fatal("VMRUN did not use the type 3 gate")
 	}
-	if f.Stats.Shadows <= sh {
+	if f.Stats().Shadows <= sh {
 		t.Fatal("exits were not shadowed")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fidelius/internal/isa"
 	"fidelius/internal/mmu"
 	"fidelius/internal/sev"
+	"fidelius/internal/telemetry"
 	"fidelius/internal/xen"
 )
 
@@ -21,8 +22,9 @@ type Violation struct {
 	Detail string
 }
 
-// GateStats counts trusted-context transitions, for the Section 7.2
-// micro-benchmarks.
+// GateStats reports trusted-context transition counts, for the Section
+// 7.2 micro-benchmarks. It is a read-out of the machine's telemetry
+// registry (see Fidelius.Stats), not separate accounting.
 type GateStats struct {
 	Gate1   uint64 // type 1: clear WP
 	Gate2   uint64 // type 2: checking loop
@@ -88,7 +90,6 @@ type Fidelius struct {
 	// NPT C-bits so guest memory is SME-encrypted (Section 7.1).
 	EncryptAll bool
 
-	Stats      GateStats
 	Violations []Violation
 
 	shadows map[xen.DomID]*shadowState
@@ -212,6 +213,23 @@ func Enable(x *xen.Xen) (*Fidelius, error) {
 	return f, nil
 }
 
+// hub returns the machine's telemetry hub (always present: the memory
+// controller creates it).
+func (f *Fidelius) hub() *telemetry.Hub { return f.M.Ctl.Telem }
+
+// Stats reads the gate-transition counts from the unified telemetry
+// registry. The counters themselves live on the hub — the gates increment
+// them directly — so there is exactly one accounting mechanism.
+func (f *Fidelius) Stats() GateStats {
+	m := f.hub().M
+	return GateStats{
+		Gate1:   m.Gate1.Value(),
+		Gate2:   m.Gate2.Value(),
+		Gate3:   m.Gate3.Value(),
+		Shadows: m.Shadows.Value(),
+	}
+}
+
 // Name reports the configuration label.
 func (f *Fidelius) Name() string {
 	if f.EncryptAll {
@@ -308,8 +326,20 @@ func GateCostBreakdown() (tlbFlush, ptWrite uint64) {
 	return cycles.TLBFlushEntry, cycles.PTWrite
 }
 
-func (f *Fidelius) violation(kind, detail string) *cpu.ProtectionError {
+// recordViolation appends to the audit log and publishes the violation on
+// the telemetry hub (counter always; event when tracing) — the "further
+// auditing" surface of Section 5.3.
+func (f *Fidelius) recordViolation(kind, detail string) {
 	f.Violations = append(f.Violations, Violation{Kind: kind, Detail: detail})
+	h := f.hub()
+	h.M.Violations.Inc()
+	if h.Tracing() {
+		h.EmitDetail(telemetry.KindViolation, 0, 0, 0, 0, 0, kind+": "+detail)
+	}
+}
+
+func (f *Fidelius) violation(kind, detail string) *cpu.ProtectionError {
+	f.recordViolation(kind, detail)
 	return &cpu.ProtectionError{Op: kind, Detail: detail}
 }
 
@@ -317,7 +347,11 @@ func (f *Fidelius) violation(kind, detail string) *cpu.ProtectionError {
 // CR0.WP, sanity-check, run the policy-checked update, restore.
 func (f *Fidelius) gate1(fn func() error) error {
 	c := f.M.CPU
-	f.Stats.Gate1++
+	h := f.hub()
+	h.M.Gate1.Inc()
+	if h.Tracing() {
+		h.Emit(telemetry.KindGate1, 0, 0, cycles.Gate1, 0, 0)
+	}
 	c.Ctl.Cycles.Charge(cycles.Gate1)
 	savedIF := c.IF
 	c.IF = false
@@ -336,7 +370,11 @@ func (f *Fidelius) gate1(fn func() error) error {
 // after the instruction executes, verifying the policy held and reverting
 // otherwise.
 func (f *Fidelius) gate2Check(c *cpu.CPU) error {
-	f.Stats.Gate2++
+	h := f.hub()
+	h.M.Gate2.Inc()
+	if h.Tracing() {
+		h.Emit(telemetry.KindGate2, 0, 0, cycles.Gate2, 0, 0)
+	}
 	c.Ctl.Cycles.Charge(cycles.Gate2)
 	if c.TrustedContext {
 		return nil
@@ -374,7 +412,11 @@ func (f *Fidelius) quiet(fn func() error) error {
 // affected TLB entries.
 func (f *Fidelius) gate3(pageVA uint64, saved mmu.PTE, exec func() error) error {
 	c := f.M.CPU
-	f.Stats.Gate3++
+	h := f.hub()
+	h.M.Gate3.Inc()
+	if h.Tracing() {
+		h.Emit(telemetry.KindGate3, 0, 0, cycles.Gate3, pageVA, 0)
+	}
 	c.Ctl.Cycles.Charge(cycles.Gate3)
 	return f.trusted(func() error {
 		if err := f.quiet(func() error { return f.M.HostPT.SetLeaf(pageVA, saved) }); err != nil {
@@ -499,10 +541,7 @@ func (f *Fidelius) pageFault(c *cpu.CPU, pf *mmu.PageFault) bool {
 	pfn := hw.PhysAddr(pf.VA).Frame() // direct map: VA == PA
 	if vec, ok := f.writeOnce[pfn]; ok {
 		if vec.anyUsed() {
-			f.Violations = append(f.Violations, Violation{
-				Kind:   "write-once",
-				Detail: fmt.Sprintf("second write to page %#x", uint64(pfn)),
-			})
+			f.recordViolation("write-once", fmt.Sprintf("second write to page %#x", uint64(pfn)))
 			return false
 		}
 		vec.markRange(0, hw.PageSize)
@@ -521,10 +560,7 @@ func (f *Fidelius) pageFault(c *cpu.CPU, pf *mmu.PageFault) bool {
 	}
 	e, err := f.PIT.Get(pfn)
 	if err == nil && e.Valid() && e.Use() == xen.UseXenCode {
-		f.Violations = append(f.Violations, Violation{
-			Kind:   "write-forbidding",
-			Detail: fmt.Sprintf("write to code page %#x", uint64(pfn)),
-		})
+		f.recordViolation("write-forbidding", fmt.Sprintf("write to code page %#x", uint64(pfn)))
 		return false
 	}
 	return false

@@ -7,6 +7,7 @@ import (
 	"fidelius/internal/disk"
 	"fidelius/internal/hw"
 	"fidelius/internal/mmu"
+	"fidelius/internal/telemetry"
 	"fidelius/internal/xen"
 )
 
@@ -402,6 +403,16 @@ func (gk *Gatekeeper) IOCrypt(d *xen.Domain, write bool, mdGFN, lba, count, shar
 	}
 	if count == 0 || count > uint64(hw.PageSize/disk.SectorSize) {
 		return f.violation("io", "sector count exceeds the Md buffer")
+	}
+	h := f.hub()
+	h.M.IOCryptSectors.Add(count)
+	if h.Tracing() {
+		dir := "read"
+		if write {
+			dir = "write"
+		}
+		h.EmitDetail(telemetry.KindIOCrypt, uint32(d.ID), uint32(d.ASID),
+			cycles.SEVCommand, lba, count, dir)
 	}
 	f.M.Ctl.Cycles.Charge(cycles.SEVCommand)
 	defer f.enterTrusted()()

@@ -27,7 +27,7 @@ func (f *Fidelius) Snapshot() Report {
 	r := Report{
 		Config:      f.Name(),
 		Measurement: f.HypervisorMeasurement,
-		Gates:       f.Stats,
+		Gates:       f.Stats(),
 		ExitCounts:  make(map[cpu.ExitReason]uint64, len(f.X.ExitCounts)),
 		Violations:  append([]Violation{}, f.Violations...),
 		TotalCycles: f.M.Ctl.Cycles.Total(),

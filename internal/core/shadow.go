@@ -6,6 +6,7 @@ import (
 	"fidelius/internal/cpu"
 	"fidelius/internal/cycles"
 	"fidelius/internal/hw"
+	"fidelius/internal/telemetry"
 	"fidelius/internal/xen"
 )
 
@@ -61,7 +62,12 @@ func allowedRegs(reason cpu.ExitReason) int {
 // onVMExit shadows the guest state at the guest→host boundary and leaves
 // only the masked view in hypervisor-visible memory.
 func (f *Fidelius) onVMExit(d *xen.Domain, vmcbPA hw.PhysAddr) error {
-	f.Stats.Shadows++
+	h := f.hub()
+	h.M.Shadows.Inc()
+	if h.Tracing() {
+		h.Emit(telemetry.KindShadowSave, uint32(d.ID), uint32(d.ASID),
+			cycles.ShadowCheck/2+1, uint64(vmcbPA), 0)
+	}
 	f.M.Ctl.Cycles.Charge(cycles.ShadowCheck/2 + 1)
 	// The copy and mask costs are modelled by the ShadowCheck constant;
 	// the mechanics below run in a quiet section.
@@ -91,6 +97,10 @@ func (f *Fidelius) onVMExit(d *xen.Domain, vmcbPA hw.PhysAddr) error {
 // preVMRun verifies the hypervisor's modifications against the shadow and
 // restores the true guest state at the host→guest boundary.
 func (f *Fidelius) preVMRun(d *xen.Domain, vmcbPA hw.PhysAddr) error {
+	if h := f.hub(); h.Tracing() {
+		h.Emit(telemetry.KindShadowVerify, uint32(d.ID), uint32(d.ASID),
+			cycles.ShadowCheck/2, uint64(vmcbPA), 0)
+	}
 	f.M.Ctl.Cycles.Charge(cycles.ShadowCheck / 2)
 	// Verification and restore costs are modelled by ShadowCheck.
 	t0 := f.M.Ctl.Cycles.Total()

@@ -136,7 +136,11 @@ type CPU struct {
 
 // New returns a CPU in host mode with paging disabled and interrupts on.
 func New(ctl *hw.Controller) *CPU {
-	return &CPU{Ctl: ctl, TLB: mmu.NewTLB(), IF: true, CR0: 0, EFER: EFERNXE}
+	c := &CPU{Ctl: ctl, TLB: mmu.NewTLB(), IF: true, CR0: 0, EFER: EFERNXE}
+	if ctl != nil {
+		c.TLB.Register(ctl.Telem)
+	}
+	return c
 }
 
 func (c *CPU) charge(n uint64) { c.Ctl.Cycles.Charge(n) }

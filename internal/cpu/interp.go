@@ -7,6 +7,7 @@ import (
 	"fidelius/internal/hw"
 	"fidelius/internal/isa"
 	"fidelius/internal/mmu"
+	"fidelius/internal/telemetry"
 )
 
 // fetch reads up to 10 instruction bytes at RIP through execute-checked
@@ -130,6 +131,11 @@ func (c *CPU) Step() error {
 			return fmt.Errorf("cpu: vmrun with no world switch installed")
 		}
 		c.charge(cycles.VMEntry)
+		h := c.Ctl.Telem
+		h.M.VMRuns.Inc()
+		if h.Tracing() {
+			h.Emit(telemetry.KindVMRun, 0, 0, cycles.VMEntry, c.Regs[in.Reg%NumRegs], 0)
+		}
 		if err := c.VMRunFn(c.Regs[in.Reg%NumRegs]); err != nil {
 			return err
 		}

@@ -1,6 +1,9 @@
 package hw
 
-import "fidelius/internal/cycles"
+import (
+	"fidelius/internal/cycles"
+	"fidelius/internal/telemetry"
+)
 
 // Access describes one memory transaction as seen by the memory controller:
 // the physical address, whether the translation carried the C-bit, and the
@@ -20,22 +23,55 @@ type Controller struct {
 	Cache  *Cache
 	Cycles *cycles.Counter
 
+	// Telem is this machine's telemetry hub: the controller owns it
+	// because every layer above (MMU, CPU, SEV firmware, hypervisor)
+	// already holds a controller reference, and the hub's clock is the
+	// controller's cycle counter. Hub methods are nil-safe, so a
+	// hand-built Controller{} without a hub still works.
+	Telem *telemetry.Hub
+
 	// Integ, when non-nil, is the optional Bonsai-Merkle integrity
 	// engine of Section 8: protected lines are verified on every read
 	// from DRAM and re-hashed on every mediated write. Physical writes
 	// that bypass the controller (DMA, rowhammer) break verification.
 	Integ *Integrity
+
+	// Transaction accounting. Plain fields, same single-owner discipline
+	// as Cycles: the vCPU handoff is synchronous, so exactly one
+	// goroutine drives the controller at a time and the channel edges
+	// order the increments. Served through Telem.Reg as reader funcs —
+	// one accounting mechanism, no duplicate atomics on the hot path.
+	reads, writes         uint64
+	readBytes, writeBytes uint64
+	decLines, encLines    uint64 // cache lines through the AES engine
+	dmaReads, dmaWrites   uint64
 }
 
 // NewController wires a controller over memory with a cache of cacheLines
 // lines.
 func NewController(mem *Memory, cacheLines int) *Controller {
-	return &Controller{
+	c := &Controller{
 		Mem:    mem,
 		Eng:    NewEngine(),
 		Cache:  NewCache(cacheLines),
 		Cycles: &cycles.Counter{},
 	}
+	c.Telem = telemetry.New(c.Cycles.Total)
+	reg := c.Telem.Reg
+	reg.RegisterFunc("cycles.total", c.Cycles.Total)
+	reg.RegisterFunc("mem.reads", func() uint64 { return c.reads })
+	reg.RegisterFunc("mem.writes", func() uint64 { return c.writes })
+	reg.RegisterFunc("mem.read_bytes", func() uint64 { return c.readBytes })
+	reg.RegisterFunc("mem.write_bytes", func() uint64 { return c.writeBytes })
+	reg.RegisterFunc("mem.dec_lines", func() uint64 { return c.decLines })
+	reg.RegisterFunc("mem.enc_lines", func() uint64 { return c.encLines })
+	reg.RegisterFunc("dma.reads", func() uint64 { return c.dmaReads })
+	reg.RegisterFunc("dma.writes", func() uint64 { return c.dmaWrites })
+	reg.RegisterFunc("cache.hits", func() uint64 { h, _ := c.Cache.Stats(); return h })
+	reg.RegisterFunc("cache.misses", func() uint64 { _, m := c.Cache.Stats(); return m })
+	reg.RegisterFunc("cache.lines", func() uint64 { return uint64(len(c.Cache.lines)) })
+	reg.RegisterFunc("engine.keys", func() uint64 { return uint64(c.Eng.Keys()) })
+	return c
 }
 
 func (c *Controller) charge(n uint64) {
@@ -55,6 +91,9 @@ func (c *Controller) Read(a Access, buf []byte) error {
 	if err := c.Mem.check(a.PA, len(buf)); err != nil {
 		return err
 	}
+	c.reads++
+	c.readBytes += uint64(len(buf))
+	decrypted := uint64(0)
 	done := 0
 	for done < len(buf) {
 		pa := a.PA + PhysAddr(done)
@@ -96,12 +135,19 @@ func (c *Controller) Read(a Access, buf []byte) error {
 					return err
 				}
 			}
+			c.decLines++
+			decrypted++
 		}
 		if span == LineSize {
 			c.Cache.Fill(base, &fill)
 		}
 		copy(buf[done:done+n], fill[off:off+n])
 		done += n
+	}
+	if decrypted > 0 && c.Telem.Tracing() {
+		c.Telem.Emit(telemetry.KindMemDecrypt,
+			c.Telem.VMForASID(uint32(a.ASID)), uint32(a.ASID),
+			decrypted*cycles.MemEncryptExtra, uint64(a.PA), uint64(len(buf)))
 	}
 	return nil
 }
@@ -112,6 +158,8 @@ func (c *Controller) Write(a Access, data []byte) error {
 	if err := c.Mem.check(a.PA, len(data)); err != nil {
 		return err
 	}
+	c.writes++
+	c.writeBytes += uint64(len(data))
 	// Update any cached plaintext lines in place (no write-allocate).
 	done := 0
 	for done < len(data) {
@@ -140,6 +188,12 @@ func (c *Controller) Write(a Access, data []byte) error {
 		return c.Mem.WriteRaw(a.PA, data)
 	}
 	c.charge(lines * cycles.MemEncryptExtra)
+	c.encLines += lines
+	if c.Telem.Tracing() {
+		c.Telem.Emit(telemetry.KindMemEncrypt,
+			c.Telem.VMForASID(uint32(a.ASID)), uint32(a.ASID),
+			lines*cycles.MemEncryptExtra, uint64(a.PA), uint64(len(data)))
+	}
 	// Read-modify-write every overlapped 16-byte block through the engine.
 	first := a.PA &^ (BlockSize - 1)
 	last := (a.PA + PhysAddr(len(data)) - 1) &^ (BlockSize - 1)
@@ -210,6 +264,7 @@ func (c *Controller) DMA() *DMA { return &DMA{ctl: c} }
 // Read copies raw DRAM bytes (ciphertext for encrypted pages).
 func (d *DMA) Read(pa PhysAddr, buf []byte) error {
 	d.ctl.charge(cycles.MemAccess)
+	d.ctl.dmaReads++
 	return d.ctl.Mem.ReadRaw(pa, buf)
 }
 
@@ -217,6 +272,7 @@ func (d *DMA) Read(pa PhysAddr, buf []byte) error {
 // as a coherent DMA write would.
 func (d *DMA) Write(pa PhysAddr, data []byte) error {
 	d.ctl.charge(cycles.MemAccess)
+	d.ctl.dmaWrites++
 	d.ctl.Cache.Invalidate(pa, len(data))
 	return d.ctl.Mem.WriteRaw(pa, data)
 }

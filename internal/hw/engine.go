@@ -116,6 +116,13 @@ func (e *Engine) Uninstall(asid ASID) {
 	delete(e.slots, asid)
 }
 
+// Keys reports how many key slots are populated.
+func (e *Engine) Keys() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.slots)
+}
+
 // Installed reports whether a key is present for the ASID.
 func (e *Engine) Installed(asid ASID) bool {
 	e.mu.RLock()

@@ -2,6 +2,7 @@ package mmu
 
 import (
 	"fidelius/internal/hw"
+	"fidelius/internal/telemetry"
 )
 
 // Nested performs the two-dimensional translation of an SEV guest: guest
@@ -33,6 +34,14 @@ func (n *Nested) gpaToHPA(gpa uint64, access AccessType) (hw.PhysAddr, PTE, erro
 	tr, err := n.NPT.Translate(gpa, access, true, false)
 	if err != nil {
 		if pf, ok := err.(*PageFault); ok {
+			if h := n.hub(); h != nil {
+				h.M.NPTViolations.Inc()
+				if h.Tracing() {
+					h.Emit(telemetry.KindNPTViolation,
+						h.VMForASID(uint32(n.ASID)), uint32(n.ASID),
+						0, gpa, uint64(access))
+				}
+			}
 			return 0, 0, &NPTViolation{GPA: gpa, Access: access, Reason: pf.Reason}
 		}
 		return 0, 0, err
@@ -70,7 +79,17 @@ type NestedTranslation struct {
 // dimensions. Guest-dimension faults return *PageFault (delivered to the
 // guest kernel); NPT-dimension faults return *NPTViolation (delivered to
 // the hypervisor as an NPF VMEXIT).
+func (n *Nested) hub() *telemetry.Hub {
+	if n.Ctl == nil {
+		return nil
+	}
+	return n.Ctl.Telem
+}
+
 func (n *Nested) Translate(gva uint64, access AccessType, user bool) (NestedTranslation, error) {
+	if h := n.hub(); h != nil {
+		h.M.NPTWalks.Inc()
+	}
 	if !CanonicalVA(gva) {
 		return NestedTranslation{}, &PageFault{VA: gva, Access: access, Reason: NonCanonical}
 	}

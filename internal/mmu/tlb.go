@@ -1,6 +1,9 @@
 package mmu
 
-import "fidelius/internal/hw"
+import (
+	"fidelius/internal/hw"
+	"fidelius/internal/telemetry"
+)
 
 type tlbKey struct {
 	asid   hw.ASID
@@ -15,9 +18,15 @@ type tlbKey struct {
 // the type 1 gate flushes nothing.
 type TLB struct {
 	entries map[tlbKey]Translation
-	// Flush statistics, used by the micro-benchmarks.
+	// Flush and lookup statistics, used by the micro-benchmarks and
+	// served through the telemetry registry as reader funcs.
 	FullFlushes  uint64
 	EntryFlushes uint64
+	Hits         uint64
+	Misses       uint64
+
+	// Hub, when set (wired by cpu.New), receives flush trace events.
+	Hub *telemetry.Hub
 }
 
 // NewTLB returns an empty TLB.
@@ -28,6 +37,11 @@ func NewTLB() *TLB {
 // Lookup returns a cached translation for (asid, va, access).
 func (t *TLB) Lookup(asid hw.ASID, va uint64, access AccessType) (Translation, bool) {
 	tr, ok := t.entries[tlbKey{asid, PageBase(va), access}]
+	if ok {
+		t.Hits++
+	} else {
+		t.Misses++
+	}
 	return tr, ok
 }
 
@@ -40,6 +54,9 @@ func (t *TLB) Insert(asid hw.ASID, va uint64, access AccessType, tr Translation)
 func (t *TLB) FlushAll() {
 	t.entries = make(map[tlbKey]Translation)
 	t.FullFlushes++
+	if t.Hub.Tracing() {
+		t.Hub.Emit(telemetry.KindTLBFlushFull, 0, 0, 0, 0, 0)
+	}
 }
 
 // FlushEntry drops all cached translations of one page for one ASID
@@ -50,6 +67,10 @@ func (t *TLB) FlushEntry(asid hw.ASID, va uint64) {
 		delete(t.entries, tlbKey{asid, base, a})
 	}
 	t.EntryFlushes++
+	if t.Hub.Tracing() {
+		t.Hub.Emit(telemetry.KindTLBFlushEntry,
+			t.Hub.VMForASID(uint32(asid)), uint32(asid), 0, va, 0)
+	}
 }
 
 // FlushASID drops every entry of one ASID.
@@ -63,3 +84,17 @@ func (t *TLB) FlushASID(asid hw.ASID) {
 
 // Len reports the number of cached translations.
 func (t *TLB) Len() int { return len(t.entries) }
+
+// Register publishes the TLB's statistics on the hub's registry and wires
+// the hub for flush events.
+func (t *TLB) Register(h *telemetry.Hub) {
+	t.Hub = h
+	if h == nil {
+		return
+	}
+	h.Reg.RegisterFunc("tlb.hits", func() uint64 { return t.Hits })
+	h.Reg.RegisterFunc("tlb.misses", func() uint64 { return t.Misses })
+	h.Reg.RegisterFunc("tlb.full_flushes", func() uint64 { return t.FullFlushes })
+	h.Reg.RegisterFunc("tlb.entry_flushes", func() uint64 { return t.EntryFlushes })
+	h.Reg.RegisterFunc("tlb.entries", func() uint64 { return uint64(len(t.entries)) })
+}

@@ -56,6 +56,7 @@ func (f *Firmware) SetEncGEK(h Handle, wrapped WrappedKeys, ownerPub *ecdh.Publi
 	c.gek = tk.TEK
 	c.gekSet = true
 	f.charge(cycles.SEVCommand)
+	f.command("setenc-gek", h)
 	return nil
 }
 
@@ -84,6 +85,7 @@ func (f *Firmware) Enc(h Handle, pa hw.PhysAddr, n int, seq uint64) ([]byte, err
 		return nil, err
 	}
 	f.charge(uint64(n) / hw.BlockSize * cycles.AESBlockSEV)
+	f.command("enc", h)
 	return buf, nil
 }
 
@@ -108,6 +110,7 @@ func (f *Firmware) Dec(h Handle, pa hw.PhysAddr, data []byte, seq uint64) error 
 		c.cipher.EncryptBlock(pa+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
 	}
 	f.charge(uint64(len(plain)) / hw.BlockSize * cycles.AESBlockSEV)
+	f.command("dec", h)
 	return f.ctl.FirmwareWrite(pa, plain)
 }
 

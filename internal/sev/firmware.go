@@ -8,6 +8,7 @@ import (
 
 	"fidelius/internal/cycles"
 	"fidelius/internal/hw"
+	"fidelius/internal/telemetry"
 )
 
 // State is the lifecycle state of a guest context inside the firmware.
@@ -130,6 +131,26 @@ func NewFirmware(ctl *hw.Controller) *Firmware {
 
 func (f *Firmware) charge(n uint64) { f.ctl.Cycles.Charge(n) }
 
+// command accounts one successfully executed firmware command: the global
+// SEV counter, a per-command labelled counter, and (when tracing) a span
+// event carrying the command name and guest handle. Commands are rare
+// relative to memory traffic, so the labelled-counter map lookup is fine
+// here.
+func (f *Firmware) command(name string, h Handle) {
+	if f.ctl == nil {
+		return
+	}
+	t := f.ctl.Telem
+	if t == nil {
+		return
+	}
+	t.M.SEVCommands.Inc()
+	t.Reg.Counter("sev.cmd", "cmd", name).Inc()
+	if t.Tracing() {
+		t.EmitDetail(telemetry.KindSEVCommand, 0, 0, cycles.SEVCommand, uint64(h), 0, name)
+	}
+}
+
 // Init generates the platform identity and moves the platform to the
 // initialized state (the SEV INIT command Fidelius issues during system
 // initialisation, Section 4.3.1).
@@ -144,6 +165,7 @@ func (f *Firmware) Init() error {
 	f.priv = priv
 	f.initialized = true
 	f.charge(cycles.SEVCommand)
+	f.command("init", 0)
 	return nil
 }
 
@@ -208,6 +230,7 @@ func (f *Firmware) LaunchStart(policy uint32) (Handle, error) {
 	c.state = StateLaunching
 	c.policy = policy
 	f.charge(cycles.SEVCommand)
+	f.command("launch-start", c.handle)
 	return c.handle, nil
 }
 
@@ -228,6 +251,7 @@ func (f *Firmware) LaunchHelper(h Handle) (Handle, error) {
 	c.state = StateRunning
 	c.policy = base.policy
 	f.charge(cycles.SEVCommand)
+	f.command("launch-helper", c.handle)
 	return c.handle, nil
 }
 
@@ -251,6 +275,7 @@ func (f *Firmware) LaunchUpdateData(h Handle, pfn hw.PFN) error {
 		c.cipher.EncryptBlock(pfn.Addr()+hw.PhysAddr(b), page[b:b+hw.BlockSize])
 	}
 	f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+	f.command("launch-update-data", h)
 	return f.ctl.FirmwareWrite(pfn.Addr(), page[:])
 }
 
@@ -264,6 +289,7 @@ func (f *Firmware) LaunchMeasure(h Handle) (Measurement, error) {
 		return Measurement{}, fmt.Errorf("%w: launch_measure in %v", ErrBadState, c.state)
 	}
 	f.charge(cycles.SEVCommand)
+	f.command("launch-measure", h)
 	return c.measure, nil
 }
 
@@ -278,6 +304,7 @@ func (f *Firmware) LaunchFinish(h Handle) error {
 	}
 	c.state = StateRunning
 	f.charge(cycles.SEVCommand)
+	f.command("launch-finish", h)
 	return nil
 }
 
@@ -306,6 +333,7 @@ func (f *Firmware) Activate(h Handle, asid hw.ASID) error {
 	c.asid = asid
 	f.active[asid] = h
 	f.charge(cycles.SEVCommand)
+	f.command("activate", h)
 	return nil
 }
 
@@ -322,6 +350,7 @@ func (f *Firmware) Deactivate(h Handle) error {
 		c.asid = 0
 	}
 	f.charge(cycles.SEVCommand)
+	f.command("deactivate", h)
 	return nil
 }
 
@@ -336,6 +365,7 @@ func (f *Firmware) Decommission(h Handle) error {
 	}
 	delete(f.ctxs, h)
 	f.charge(cycles.SEVCommand)
+	f.command("decommission", h)
 	return nil
 }
 
@@ -372,6 +402,7 @@ func (f *Firmware) SendStart(h Handle, peerPub *ecdh.PublicKey, nonce []byte) (W
 	c.measure = Measurement{}
 	c.seq = 0
 	f.charge(cycles.SEVCommand)
+	f.command("send-start", h)
 	return w, nil
 }
 
@@ -400,6 +431,7 @@ func (f *Firmware) SendUpdate(h Handle, pfn hw.PFN) (Packet, error) {
 	}
 	c.measure = measureChain(c.measure, pkt.Tag)
 	f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+	f.command("send-update", h)
 	return pkt, nil
 }
 
@@ -430,6 +462,7 @@ func (f *Firmware) SendUpdateBuf(h Handle, pa hw.PhysAddr, n int, seq uint64) (P
 		return Packet{}, err
 	}
 	f.charge(cycles.SEVCommand + uint64(n)/hw.BlockSize*cycles.AESBlockSEV)
+	f.command("send-update-buf", h)
 	return pkt, nil
 }
 
@@ -480,6 +513,7 @@ func (f *Firmware) SendIO(h Handle, pa hw.PhysAddr, n int, seq uint64) ([]byte, 
 		return nil, err
 	}
 	f.charge(uint64(n) / hw.BlockSize * cycles.AESBlockSEV)
+	f.command("send-io", h)
 	return buf, nil
 }
 
@@ -505,6 +539,7 @@ func (f *Firmware) ReceiveIO(h Handle, pa hw.PhysAddr, data []byte, seq uint64) 
 		c.cipher.EncryptBlock(pa+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
 	}
 	f.charge(uint64(len(plain)) / hw.BlockSize * cycles.AESBlockSEV)
+	f.command("receive-io", h)
 	return f.ctl.FirmwareWrite(pa, plain)
 }
 
@@ -520,6 +555,7 @@ func (f *Firmware) SendFinish(h Handle) (Measurement, error) {
 	}
 	c.state = StateSent
 	f.charge(cycles.SEVCommand)
+	f.command("send-finish", h)
 	return c.measure, nil
 }
 
@@ -545,6 +581,7 @@ func (f *Firmware) ReceiveStart(w WrappedKeys, originPub *ecdh.PublicKey, nonce 
 	c.transport = tk
 	c.state = StateReceiving
 	f.charge(cycles.SEVCommand)
+	f.command("receive-start", c.handle)
 	return c.handle, nil
 }
 
@@ -566,6 +603,7 @@ func (f *Firmware) ReceiveHelperStart(base Handle, w WrappedKeys, originPub *ecd
 	c := f.ctxs[h]
 	c.transport = tk
 	c.state = StateReceiving
+	f.command("receive-helper-start", h)
 	return h, nil
 }
 
@@ -591,6 +629,7 @@ func (f *Firmware) ReceiveUpdate(h Handle, pfn hw.PFN, pkt Packet) error {
 		c.cipher.EncryptBlock(pfn.Addr()+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
 	}
 	f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+	f.command("receive-update", h)
 	return f.ctl.FirmwareWrite(pfn.Addr(), plain)
 }
 
@@ -617,6 +656,7 @@ func (f *Firmware) ReceiveUpdateBuf(h Handle, pa hw.PhysAddr, pkt Packet) error 
 	}
 	f.ctl.Cache.Invalidate(pa, len(plain))
 	f.charge(cycles.SEVCommand + uint64(len(plain))/hw.BlockSize*cycles.AESBlockSEV)
+	f.command("receive-update-buf", h)
 	return f.ctl.Mem.WriteRaw(pa, plain)
 }
 
@@ -635,5 +675,6 @@ func (f *Firmware) ReceiveFinish(h Handle, expect Measurement) error {
 	}
 	c.state = StateRunning
 	f.charge(cycles.SEVCommand)
+	f.command("receive-finish", h)
 	return nil
 }

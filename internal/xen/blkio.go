@@ -7,6 +7,7 @@ import (
 	"fidelius/internal/cycles"
 	"fidelius/internal/disk"
 	"fidelius/internal/hw"
+	"fidelius/internal/telemetry"
 )
 
 // The para-virtualized block protocol (Section 2.3): the front-end driver
@@ -182,6 +183,18 @@ func (b *BlockBackend) handleKick() error {
 		req[i] = v
 	}
 	id, op, lba, count, dataOff := req[0], req[1], req[2], req[3], req[4]
+	tel := b.x.M.Ctl.Telem
+	tel.M.BlkRequests.Inc()
+	tel.M.BlkSectors.Add(count)
+	tel.M.BlkReqSectors.Observe(count)
+	if tel.Tracing() {
+		dir := "read"
+		if op == BlkOpWrite {
+			dir = "write"
+		}
+		tel.EmitDetail(telemetry.KindBlkRequest, uint32(b.d.ID), uint32(b.d.ASID),
+			count*cycles.DiskSectorAccess, lba, count, dir)
+	}
 	// Seek model: non-sequential requests pay head movement (reads) or a
 	// smaller write-cache penalty (writes).
 	switch op {

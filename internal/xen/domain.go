@@ -230,6 +230,19 @@ func (x *Xen) CreateDomain(cfg DomainConfig) (*Domain, error) {
 	}
 	d.Info = StartInfo{DomID: d.ID, MemPages: uint64(cfg.MemPages)}
 
+	// Register the domain with the machine's telemetry hub so events and
+	// per-VM metrics carry its name and ASID mapping.
+	tel := x.M.Ctl.Telem
+	tel.NameVM(uint32(d.ID), d.Name)
+	if d.ASID != 0 {
+		tel.MapASID(uint32(d.ASID), uint32(d.ID))
+	}
+	if tel != nil {
+		id := d.ID
+		tel.Reg.RegisterFunc("cycles.vm", func() uint64 { return x.CycleAccount[id] },
+			"vm", fmt.Sprint(uint32(d.ID)))
+	}
+
 	x.Doms[d.ID] = d
 	x.vmcbToDom[d.VMCBPA()] = d
 	return d, nil

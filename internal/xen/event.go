@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fidelius/internal/cycles"
+	"fidelius/internal/telemetry"
 )
 
 // EventBus is the event-channel mechanism: a guest (or the toolstack)
@@ -11,6 +12,7 @@ import (
 // protocol uses it to signal requests from front-end to back-end.
 type EventBus struct {
 	ctlCharge func(uint64)
+	hub       *telemetry.Hub
 	handlers  map[evtKey]func() error
 }
 
@@ -20,8 +22,8 @@ type evtKey struct {
 }
 
 // newEventBus returns an empty bus charging cycles through fn.
-func newEventBus(charge func(uint64)) *EventBus {
-	return &EventBus{ctlCharge: charge, handlers: make(map[evtKey]func() error)}
+func newEventBus(charge func(uint64), hub *telemetry.Hub) *EventBus {
+	return &EventBus{ctlCharge: charge, hub: hub, handlers: make(map[evtKey]func() error)}
 }
 
 // Bind installs the handler for (dom, port), replacing any previous one.
@@ -42,6 +44,13 @@ func (b *EventBus) Notify(dom DomID, port uint32) error {
 		return fmt.Errorf("xen: event channel %d/%d not bound", dom, port)
 	}
 	b.ctlCharge(cycles.EventChannelSignal)
+	if t := b.hub; t != nil {
+		t.M.EvtSignals.Inc()
+		if t.Tracing() {
+			t.Emit(telemetry.KindEvtSignal, uint32(dom), 0,
+				cycles.EventChannelSignal, uint64(port), 0)
+		}
+	}
 	return h()
 }
 

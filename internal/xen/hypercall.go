@@ -7,6 +7,7 @@ import (
 	"fidelius/internal/cycles"
 	"fidelius/internal/hw"
 	"fidelius/internal/mmu"
+	"fidelius/internal/telemetry"
 )
 
 // Hypercall numbers. Arguments travel in guest registers R1..R5 and the
@@ -83,6 +84,12 @@ func errnoFor(err error) uint64 {
 // and errno values for R0 and R1.
 func (x *Xen) hypercall(d *Domain, regs [cpu.NumRegs]uint64) (res, errno uint64) {
 	x.M.Ctl.Cycles.Charge(200) // dispatch cost (part of the hypercall path)
+	tel := x.M.Ctl.Telem
+	tel.M.Hypercalls.Inc()
+	if tel.Tracing() {
+		tel.Emit(telemetry.KindHypercall, uint32(d.ID), uint32(d.ASID),
+			200, regs[0], regs[1])
+	}
 	switch regs[0] {
 	case HCVoid:
 		return 0, errnoOK

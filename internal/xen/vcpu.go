@@ -8,6 +8,7 @@ import (
 	"fidelius/internal/cycles"
 	"fidelius/internal/hw"
 	"fidelius/internal/mmu"
+	"fidelius/internal/telemetry"
 )
 
 // GuestFunc is a guest kernel: it runs on a vCPU goroutine against a
@@ -483,6 +484,12 @@ func (x *Xen) worldSwitch(vmcbPA uint64) error {
 	d.pendingFault = false
 	ev := <-v.exitCh
 	x.M.Ctl.Cycles.Charge(cycles.VMExit)
+	tel := x.M.Ctl.Telem
+	tel.M.VMExits.Inc()
+	if tel.Tracing() {
+		tel.Emit(telemetry.KindVMExit, uint32(d.ID), uint32(d.ASID),
+			cycles.VMExit, uint64(ev.reason), 0)
+	}
 	if ev.done {
 		v.halted = true
 		v.err = ev.err

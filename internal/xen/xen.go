@@ -63,7 +63,7 @@ func New(m *Machine) (*Xen, error) {
 		CycleAccount: make(map[DomID]uint64),
 		ExitCounts:   make(map[cpu.ExitReason]uint64),
 	}
-	x.Events = newEventBus(func(n uint64) { m.Ctl.Cycles.Charge(n) })
+	x.Events = newEventBus(func(n uint64) { m.Ctl.Cycles.Charge(n) }, m.Ctl.Telem)
 	x.Interpose = Direct{X: x}
 	m.CPU.VMRunFn = x.worldSwitch
 	if err := m.FW.Init(); err != nil {
@@ -85,7 +85,11 @@ func (x *Xen) RunOnce(d *Domain) (done bool, err error) {
 		return true, v.err
 	}
 	start := x.M.Ctl.Cycles.Total()
-	defer func() { x.CycleAccount[d.ID] += x.M.Ctl.Cycles.Sub(start) }()
+	defer func() {
+		spent := x.M.Ctl.Cycles.Sub(start)
+		x.CycleAccount[d.ID] += spent
+		x.M.Ctl.Telem.M.ExitCycles.Observe(spent)
+	}()
 	if err := x.Interpose.PreVMRun(d, d.VMCBPA()); err != nil {
 		return true, fmt.Errorf("xen: entry to %s vetoed: %w", d.Name, err)
 	}
@@ -175,6 +179,7 @@ func (x *Xen) handleExit(d *Domain) error {
 // handleNPF backs an unmapped GPA with a fresh frame (lazy population) or
 // upgrades permissions. Every NPT write goes through the interposer gate.
 func (x *Xen) handleNPF(d *Domain, gpa uint64, _ mmu.AccessType) error {
+	x.M.Ctl.Telem.M.NPFHandled.Inc()
 	gfn := gpa >> hw.PageShift
 	if gfn >= uint64(len(d.Frames)) {
 		return fmt.Errorf("xen: domain %d faulted beyond its memory at gpa %#x", d.ID, gpa)
