@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt check trace examples tables attacks xsa demo clean
+.PHONY: all build test race bench vet fmt check fuzz migrate trace examples tables attacks xsa demo clean
 
 all: build test
 
-check: build vet test race
+check: build vet test race fuzz
+	$(GO) run ./examples/migration
 
 build:
 	$(GO) build ./...
@@ -14,6 +15,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short bursts over each bundle-unmarshaling fuzz target; the corpus
+# seeds cover the valid shapes, fuzzing hunts for parser panics and
+# validation gaps in attacker-supplied wire bytes.
+fuzz:
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzUnmarshalGuestBundle -fuzztime 5s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzUnmarshalMigrationBundle -fuzztime 5s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzUnmarshalGEKBundle -fuzztime 5s
+
+migrate:
+	$(GO) run ./cmd/fidelius-migrate
+	$(GO) run ./cmd/fidelius-migrate -faulty
+	$(GO) run ./cmd/fidelius-migrate -tamper
 
 bench:
 	$(GO) test -bench=. -benchmem .

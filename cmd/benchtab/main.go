@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab [-fig5] [-fig6] [-table3] [-micro] [-iters N] [-sectors N]
+//	benchtab [-fig5] [-fig6] [-table3] [-micro] [-migration] [-iters N] [-sectors N]
 //
 // With no flags, everything runs.
 package main
@@ -25,6 +25,7 @@ func main() {
 	table3 := flag.Bool("table3", false, "run Table 3 (fio)")
 	micro := flag.Bool("micro", false, "run the Section 7.2 micro-benchmarks")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	migration := flag.Bool("migration", false, "run the live-migration downtime table")
 	iters := flag.Int("iters", 40, "workload iterations per benchmark")
 	sectors := flag.Int("sectors", 640, "fio sectors per pattern")
 	csvDir := flag.String("csv", "", "also write fig5.csv/fig6.csv/table3.csv into this directory")
@@ -44,7 +45,7 @@ func main() {
 		}
 	}
 
-	all := !*fig5 && !*fig6 && !*table3 && !*micro && !*ablation
+	all := !*fig5 && !*fig6 && !*table3 && !*micro && !*ablation && !*migration
 
 	if *csvDir != "" {
 		snap, err := bench.CaptureTelemetry(*iters)
@@ -106,6 +107,14 @@ func main() {
 		fmt.Printf("  SEV/SME slowdown:        %6.2f%%  (paper: 8.69%%)\n", io.SEVSlowdown)
 		fmt.Printf("  software overhead:       %6.1fx  (paper: >20x)\n", io.SoftwareRatio)
 		fmt.Println()
+	}
+	if all || *migration {
+		rows, err := bench.MigrationTable(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatMigrationTable(rows))
+		writeCSV("migration.csv", func(f *os.File) error { return bench.WriteMigrationCSV(f, rows) })
 	}
 	if all || *ablation {
 		ga, err := bench.MeasureGateAblation(200)

@@ -29,6 +29,7 @@ import (
 
 	"fidelius/internal/core"
 	"fidelius/internal/disk"
+	"fidelius/internal/migrate"
 	"fidelius/internal/sev"
 	"fidelius/internal/telemetry"
 	"fidelius/internal/xen"
@@ -95,7 +96,31 @@ type (
 
 	// GEKBundle binds a portable image to one platform.
 	GEKBundle = core.GEKBundle
+
+	// MigrateConn is one endpoint of a live-migration channel.
+	MigrateConn = migrate.Conn
+
+	// MigrateConfig tunes the live pre-copy engine (rounds, convergence
+	// threshold, retry budget, stop-and-copy baseline mode).
+	MigrateConfig = migrate.Config
+
+	// MigrateStats is the engine's account of one migration: rounds,
+	// pages, re-dirtied traffic, retries, bytes on wire and downtime.
+	MigrateStats = migrate.Stats
+
+	// MigrateLink wraps an endpoint with a bandwidth/latency cost model.
+	MigrateLink = migrate.Link
+
+	// MigrateFrame is one protocol frame on a migration channel.
+	MigrateFrame = migrate.Frame
+
+	// MigrateFaulty injects drops, duplicates and corruption into a
+	// migration channel, for exercising the retry protocol.
+	MigrateFaulty = migrate.Faulty
 )
+
+// MigrateFramePage identifies a page-carrying migration frame.
+const MigrateFramePage = migrate.FramePage
 
 // Config sizes and configures a platform.
 type Config struct {
@@ -239,6 +264,63 @@ func (p *Platform) MigrateIn(bundle *MigrationBundle, origin *Platform) (*Domain
 		return nil, fmt.Errorf("fidelius: migration requires a protected platform")
 	}
 	return p.F.MigrateIn(bundle, origin.PlatformKey())
+}
+
+// NewMigrationPipe returns two connected in-memory migration endpoints
+// with the given per-direction frame buffer.
+func NewMigrationPipe(buf int) (MigrateConn, MigrateConn) { return migrate.Pipe(buf) }
+
+// MigrateOutLive streams a running protected VM to the platform behind
+// conn using iterative pre-copy: the vCPU keeps executing while dirty
+// pages are tracked in the NPT and re-sent round by round; only the
+// final round stops it. On failure the source VM is left running.
+func (p *Platform) MigrateOutLive(d *Domain, target *Platform, conn MigrateConn, cfg MigrateConfig) (*MigrateStats, error) {
+	if p.F == nil {
+		return nil, fmt.Errorf("fidelius: migration requires a protected platform")
+	}
+	return p.F.MigrateOutLive(d, target.PlatformKey(), conn, cfg)
+}
+
+// MigrateInLive receives a live migration arriving on conn and returns
+// the activated VM.
+func (p *Platform) MigrateInLive(conn MigrateConn, origin *Platform) (*Domain, error) {
+	if p.F == nil {
+		return nil, fmt.Errorf("fidelius: migration requires a protected platform")
+	}
+	return p.F.MigrateInLive(conn, origin.PlatformKey())
+}
+
+// LiveMigrate moves a running protected VM from one platform to another
+// over an in-memory link with the default bandwidth/latency cost model,
+// running both protocol ends and returning the activated target domain
+// plus the engine's statistics.
+func LiveMigrate(source *Platform, d *Domain, target *Platform, cfg MigrateConfig) (*Domain, *MigrateStats, error) {
+	if source.F == nil || target.F == nil {
+		return nil, nil, fmt.Errorf("fidelius: live migration requires protected platforms")
+	}
+	a, b := migrate.Pipe(8)
+	sc := &migrate.Link{Conn: a, Counter: source.X.M.Ctl.Cycles,
+		CyclesPerByte: migrate.DefaultCyclesPerByte, LatencyCycles: migrate.DefaultLatencyCycles}
+	tc := &migrate.Link{Conn: b, Counter: target.X.M.Ctl.Cycles,
+		CyclesPerByte: migrate.DefaultCyclesPerByte, LatencyCycles: migrate.DefaultLatencyCycles}
+	type inRes struct {
+		d   *Domain
+		err error
+	}
+	done := make(chan inRes, 1)
+	go func() {
+		vm, err := target.MigrateInLive(tc, source)
+		done <- inRes{vm, err}
+	}()
+	stats, err := source.MigrateOutLive(d, target, sc, cfg)
+	r := <-done
+	if err != nil {
+		return nil, stats, err
+	}
+	if r.err != nil {
+		return nil, stats, r.err
+	}
+	return r.d, stats, nil
 }
 
 // Violations returns the policy violations Fidelius has logged.

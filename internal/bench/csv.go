@@ -99,6 +99,34 @@ func WriteFioCSV(w io.Writer, rows []FioRow) error {
 	return cw.Error()
 }
 
+// WriteMigrationCSV streams the migration table as CSV.
+func WriteMigrationCSV(w io.Writer, rows []MigRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"wset_pages", "rounds", "pages_sent", "redirtied", "bytes_on_wire",
+		"live_downtime_cycles", "stopcopy_downtime_cycles", "forced_final",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprint(r.WSetPages),
+			fmt.Sprint(r.Rounds),
+			fmt.Sprint(r.PagesSent),
+			fmt.Sprint(r.Redirtied),
+			fmt.Sprint(r.BytesOnWire),
+			fmt.Sprint(r.LiveDowntime),
+			fmt.Sprint(r.StopCopyDowntime),
+			fmt.Sprint(r.ForcedFinal),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // FioPatterns lists Table 3's patterns in row order, for callers driving
 // runFio themselves.
 var FioPatterns = []workload.FioPattern{

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMigrationTableQuick(t *testing.T) {
+	rows, err := MigrationTable([]int{2, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LiveDowntime == 0 || r.StopCopyDowntime == 0 {
+			t.Fatalf("unmeasured downtime: %+v", r)
+		}
+		if r.LiveDowntime >= r.StopCopyDowntime {
+			t.Fatalf("wset=%d: live downtime %d not below stop-and-copy %d",
+				r.WSetPages, r.LiveDowntime, r.StopCopyDowntime)
+		}
+		if r.BytesOnWire == 0 || r.PagesSent < migGuestPages {
+			t.Fatalf("implausible wire stats: %+v", r)
+		}
+	}
+	if rows[0].LiveDowntime >= rows[1].LiveDowntime {
+		t.Fatalf("downtime must grow with the working set: %d vs %d",
+			rows[0].LiveDowntime, rows[1].LiveDowntime)
+	}
+	var buf bytes.Buffer
+	if err := WriteMigrationCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("live_downtime_cycles")) {
+		t.Fatal("CSV header missing")
+	}
+	if FormatMigrationTable(rows) == "" {
+		t.Fatal("empty table")
+	}
+}

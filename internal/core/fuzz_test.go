@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/gob"
+	"testing"
+
+	"fidelius/internal/hw"
+	"fidelius/internal/sev"
+)
+
+// The bundle unmarshalers face attacker-controlled bytes relayed by the
+// untrusted hypervisor. The fuzz targets assert two things: no input
+// panics, and any input the validator accepts satisfies the structural
+// invariants the rest of the platform relies on.
+
+func seedPub(f *testing.F) []byte {
+	f.Helper()
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return priv.PublicKey().Bytes()
+}
+
+func mustGob(f *testing.F, v any) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func validWrap() sev.WrappedKeys {
+	return sev.WrappedKeys{Ciphertext: make([]byte, wrappedKeyLen)}
+}
+
+func pagePacket(seq uint64) sev.Packet {
+	return sev.Packet{Seq: seq, Data: make([]byte, hw.PageSize)}
+}
+
+func FuzzUnmarshalGuestBundle(f *testing.F) {
+	pub := seedPub(f)
+	good := guestBundleWire{
+		Image: &sev.EncryptedImage{Pages: []sev.Packet{pagePacket(0), pagePacket(1)}},
+		Kwrap: validWrap(), OwnerPub: pub, Nonce: make([]byte, sessionNonceLen),
+	}
+	f.Add(mustGob(f, good))
+	bad := good
+	bad.Image = &sev.EncryptedImage{Pages: []sev.Packet{{Data: []byte("short")}}}
+	f.Add(mustGob(f, bad))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b GuestBundle
+		if err := b.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if b.Image == nil || b.Image.NumPages() == 0 || b.Image.NumPages() > maxBundlePages {
+			t.Fatalf("accepted bundle with bad image: %+v", b.Image)
+		}
+		for i, p := range b.Image.Pages {
+			if len(p.Data) != hw.PageSize {
+				t.Fatalf("accepted %d-byte page %d", len(p.Data), i)
+			}
+		}
+		if len(b.Kwrap.Ciphertext) != wrappedKeyLen || len(b.Nonce) != sessionNonceLen {
+			t.Fatalf("accepted bad key material: wrap=%d nonce=%d",
+				len(b.Kwrap.Ciphertext), len(b.Nonce))
+		}
+		if b.OwnerPub == nil {
+			t.Fatal("accepted bundle without owner key")
+		}
+		// Accepted input must survive a round trip.
+		out, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal: %v", err)
+		}
+		var b2 GuestBundle
+		if err := b2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalMigrationBundle(f *testing.F) {
+	good := migrationBundleWire{
+		Name: "vm", MemPages: 4, Kwrap: validWrap(),
+		Nonce:   make([]byte, sessionNonceLen),
+		Packets: []sev.Packet{pagePacket(0), pagePacket(1)},
+	}
+	f.Add(mustGob(f, good))
+	bad := good
+	bad.MemPages = 1 // fewer pages than packets
+	f.Add(mustGob(f, bad))
+	huge := good
+	huge.MemPages = maxBundlePages + 1
+	f.Add(mustGob(f, huge))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b MigrationBundle
+		if err := b.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if b.MemPages <= 0 || b.MemPages > maxBundlePages {
+			t.Fatalf("accepted MemPages=%d", b.MemPages)
+		}
+		if len(b.Packets) > b.MemPages {
+			t.Fatalf("accepted %d packets for %d pages", len(b.Packets), b.MemPages)
+		}
+		for i, p := range b.Packets {
+			if len(p.Data) != hw.PageSize {
+				t.Fatalf("accepted %d-byte packet %d", len(p.Data), i)
+			}
+		}
+		if len(b.Kwrap.Ciphertext) != wrappedKeyLen || len(b.Nonce) != sessionNonceLen {
+			t.Fatalf("accepted bad key material: wrap=%d nonce=%d",
+				len(b.Kwrap.Ciphertext), len(b.Nonce))
+		}
+		out, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal: %v", err)
+		}
+		var b2 MigrationBundle
+		if err := b2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalGEKBundle(f *testing.F) {
+	pub := seedPub(f)
+	good := gekBundleWire{
+		Image:   &sev.GEKImage{Pages: [][]byte{make([]byte, hw.PageSize)}},
+		GEKWrap: validWrap(), OwnerPub: pub, Nonce: make([]byte, sessionNonceLen),
+	}
+	f.Add(mustGob(f, good))
+	bad := good
+	bad.Image = &sev.GEKImage{Pages: [][]byte{[]byte("tiny")}}
+	f.Add(mustGob(f, bad))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b GEKBundle
+		if err := b.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if b.Image == nil || b.Image.NumPages() == 0 || b.Image.NumPages() > maxBundlePages {
+			t.Fatalf("accepted bundle with bad image: %+v", b.Image)
+		}
+		for i, p := range b.Image.Pages {
+			if len(p) != hw.PageSize {
+				t.Fatalf("accepted %d-byte page %d", len(p), i)
+			}
+		}
+		if len(b.GEKWrap.Ciphertext) != wrappedKeyLen || len(b.Nonce) != sessionNonceLen {
+			t.Fatalf("accepted bad key material: wrap=%d nonce=%d",
+				len(b.GEKWrap.Ciphertext), len(b.Nonce))
+		}
+		if b.OwnerPub == nil {
+			t.Fatal("accepted bundle without owner key")
+		}
+	})
+}

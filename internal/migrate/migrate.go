@@ -1,0 +1,367 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fidelius/internal/sev"
+	"fidelius/internal/telemetry"
+)
+
+// Source is the sending platform as the engine sees it. internal/core
+// implements it over Fidelius and the firmware; tests implement fakes.
+// The engine never touches guest plaintext: SendPage returns transport
+// ciphertext produced inside the firmware.
+type Source interface {
+	Name() string
+	MemPages() int
+	// BackedGFNs lists the frames the full-copy round must ship.
+	BackedGFNs() []uint64
+
+	// StartDirty write-protects the guest and arms dirty tracking.
+	StartDirty() error
+	// CollectDirty drains the dirty set and re-protects it for the next
+	// round.
+	CollectDirty() ([]uint64, error)
+	// StopDirty disarms tracking and restores full-speed mappings.
+	StopDirty() error
+
+	// SendStart opens the firmware SEND session wrapped for the target
+	// platform, returning the wrapped transport keys and the nonce.
+	SendStart() (sev.WrappedKeys, []byte, error)
+	// SendPage produces the next transport packet for gfn. Sequence
+	// numbers advance per call, so each transmitted packet is produced
+	// exactly once and retries re-send the same packet.
+	SendPage(gfn uint64) (sev.Packet, error)
+	// SendFinish closes the session and returns Mvm.
+	SendFinish() (sev.Measurement, error)
+	// Cancel aborts the session (SEND_CANCEL) and resumes the guest.
+	Cancel() error
+
+	// RunQuantum executes one scheduling quantum of the source vCPU,
+	// reporting done when the guest function has returned.
+	RunQuantum() (bool, error)
+	// Cycles reads the source machine's clock, for downtime measurement.
+	Cycles() uint64
+}
+
+// Config tunes the engine.
+type Config struct {
+	// MaxRounds forces the final stop-and-copy round after this many
+	// pre-copy rounds regardless of convergence (default 8).
+	MaxRounds int
+	// FinalPages converges when a round's dirty set is at most this many
+	// pages (default 8).
+	FinalPages int
+	// QuantaPerPage runs this many guest quanta per page sent during
+	// pre-copy rounds (default 1) — the "source keeps running" knob.
+	QuantaPerPage int
+	// MaxRetries bounds retransmissions per frame (default 4).
+	MaxRetries int
+	// AckTimeout is the initial ack wait; it doubles on every retry of a
+	// frame (default 100ms).
+	AckTimeout time.Duration
+	// StopAndCopy freezes the guest before the first page is sent — the
+	// offline baseline, over the same transport, for downtime
+	// comparisons.
+	StopAndCopy bool
+	// Hub, when set, receives migration telemetry.
+	Hub *telemetry.Hub
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 8
+	}
+	if c.FinalPages <= 0 {
+		c.FinalPages = 8
+	}
+	if c.QuantaPerPage <= 0 {
+		c.QuantaPerPage = 1
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 4
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Stats is the engine's account of one migration.
+type Stats struct {
+	// Rounds counts memory-copy rounds, including round 0 (full copy)
+	// and the final stop-and-copy round.
+	Rounds int
+	// PagesPerRound is the page count shipped in each round.
+	PagesPerRound []int
+	// PagesSent is the total packets shipped (retries not included).
+	PagesSent int
+	// Redirtied is the number of page sends beyond the first copy of
+	// each frame — the re-dirtied traffic pre-copy pays for liveness.
+	Redirtied int
+	// BytesOnWire is the modelled wire volume including retransmissions
+	// and acks are not counted (they flow the other way).
+	BytesOnWire uint64
+	// Retries counts frame retransmissions.
+	Retries int
+	// DowntimeCycles is the source-clock span from vCPU freeze to the
+	// target's final-round acknowledgement.
+	DowntimeCycles uint64
+	// ForcedFinal reports that the convergence heuristic gave up (dirty
+	// rate outran the link) rather than converged.
+	ForcedFinal bool
+	// GuestDone reports that the guest function returned during the
+	// migration (the vCPU had nothing left to run).
+	GuestDone bool
+}
+
+// ErrAborted reports a migration torn down by either side.
+var ErrAborted = errors.New("migrate: migration aborted")
+
+type sender struct {
+	src   Source
+	conn  Conn
+	cfg   Config
+	stats *Stats
+	seq   uint64
+}
+
+// Send drives a live pre-copy migration of src over conn. On any
+// transport or protocol failure the source is cancelled back to the
+// running state and the error returned; the returned Stats are valid in
+// both outcomes. The frozen window (downtime) spans only the final round.
+//
+// Note the deliberate divergence from stock SEV semantics the paper
+// adopts (Section 4.3.6): SEND_START there stops guest execution for the
+// whole transfer. Here execution continues through the pre-copy rounds —
+// the memory key stays installed in the controller, so the running guest
+// is unaffected by the firmware context sitting in the sending state —
+// and only the final round stops the vCPU.
+func Send(src Source, conn Conn, cfg Config) (*Stats, error) {
+	s := &sender{src: src, conn: conn, cfg: cfg.withDefaults(), stats: &Stats{}}
+	err := s.run()
+	if err != nil {
+		s.abort(err)
+		if s.cfg.Hub != nil {
+			s.cfg.Hub.Reg.Counter("migrate.aborts").Inc()
+		}
+	}
+	s.publish()
+	return s.stats, err
+}
+
+func (s *sender) run() error {
+	kwrap, nonce, err := s.src.SendStart()
+	if err != nil {
+		return err
+	}
+	if err := s.xfer(&Frame{
+		Type:     FrameStart,
+		Name:     s.src.Name(),
+		MemPages: s.src.MemPages(),
+		Kwrap:    kwrap,
+		Nonce:    nonce,
+	}); err != nil {
+		return err
+	}
+
+	if s.cfg.StopAndCopy {
+		// Baseline: freeze first, ship everything once, finish.
+		freeze := s.src.Cycles()
+		if err := s.sendRound(0, s.src.BackedGFNs(), false); err != nil {
+			return err
+		}
+		if err := s.finish(); err != nil {
+			return err
+		}
+		s.stats.DowntimeCycles = s.src.Cycles() - freeze
+		return nil
+	}
+
+	if err := s.src.StartDirty(); err != nil {
+		return err
+	}
+
+	// Round 0: full copy with the guest running.
+	if err := s.sendRound(0, s.src.BackedGFNs(), true); err != nil {
+		return err
+	}
+
+	// Pre-copy rounds: ship each round's dirty set while the guest keeps
+	// dirtying, until the working set converges below FinalPages — or
+	// until the heuristic concludes it never will (the dirty rate matches
+	// or outruns what a round can ship) and forces the final round.
+	prev := -1
+	for round := 1; ; round++ {
+		dirty, err := s.src.CollectDirty()
+		if err != nil {
+			return err
+		}
+		final := false
+		switch {
+		case len(dirty) <= s.cfg.FinalPages:
+			final = true
+		case round >= s.cfg.MaxRounds:
+			final, s.stats.ForcedFinal = true, true
+		case prev >= 0 && len(dirty) >= prev:
+			// The dirty set stopped shrinking: sending a round's pages
+			// re-dirties at least as many. More rounds only burn wire.
+			final, s.stats.ForcedFinal = true, true
+		}
+		prev = len(dirty)
+		if !final {
+			if err := s.sendRound(round, dirty, true); err != nil {
+				return err
+			}
+			continue
+		}
+		// Final stop-and-copy round: the vCPU freezes (no more quanta),
+		// the residual dirty set drains, and the measurement seals the
+		// stream. Downtime is everything from here to the target's
+		// final ack.
+		freeze := s.src.Cycles()
+		if err := s.src.StopDirty(); err != nil {
+			return err
+		}
+		if err := s.sendRound(round, dirty, false); err != nil {
+			return err
+		}
+		if err := s.finish(); err != nil {
+			return err
+		}
+		s.stats.DowntimeCycles = s.src.Cycles() - freeze
+		return nil
+	}
+}
+
+func (s *sender) finish() error {
+	mvm, err := s.src.SendFinish()
+	if err != nil {
+		return err
+	}
+	return s.xfer(&Frame{Type: FrameFinish, Mvm: mvm, Round: s.stats.Rounds - 1})
+}
+
+// sendRound ships one round of pages, optionally interleaving guest
+// quanta so the source stays live.
+func (s *sender) sendRound(round int, gfns []uint64, live bool) error {
+	for _, gfn := range gfns {
+		pkt, err := s.src.SendPage(gfn)
+		if err != nil {
+			return err
+		}
+		if err := s.xfer(&Frame{Type: FramePage, Round: round, GFN: gfn, Pkt: pkt}); err != nil {
+			return err
+		}
+		s.stats.PagesSent++
+		if round > 0 {
+			s.stats.Redirtied++
+		}
+		if live && !s.stats.GuestDone {
+			for q := 0; q < s.cfg.QuantaPerPage; q++ {
+				done, err := s.src.RunQuantum()
+				if err != nil {
+					return fmt.Errorf("migrate: source guest failed mid-migration: %w", err)
+				}
+				if done {
+					s.stats.GuestDone = true
+					break
+				}
+			}
+		}
+	}
+	s.stats.Rounds++
+	s.stats.PagesPerRound = append(s.stats.PagesPerRound, len(gfns))
+	if h := s.cfg.Hub; h != nil {
+		h.Reg.Counter("migrate.rounds").Inc()
+		h.Reg.Counter("migrate.pages_sent").Add(uint64(len(gfns)))
+		if h.Tracing() {
+			h.Emit(telemetry.KindMigrateRound, 0, 0, 0, uint64(round), uint64(len(gfns)))
+		}
+	}
+	return nil
+}
+
+// xfer sends one frame reliably: stop-and-wait with per-frame sequence
+// numbers, bounded retries and exponential backoff. A receiver nack (bad
+// tag after in-flight tampering, say) retries the same frame; retry
+// exhaustion is the abort trigger.
+func (s *sender) xfer(f *Frame) error {
+	f.Seq = s.seq
+	timeout := s.cfg.AckTimeout
+	lastErr := "no acknowledgement"
+	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			s.stats.Retries++
+			if s.cfg.Hub != nil {
+				s.cfg.Hub.Reg.Counter("migrate.retries").Inc()
+			}
+		}
+		if err := s.conn.Send(f); err != nil {
+			return err
+		}
+		s.stats.BytesOnWire += WireSize(f)
+		ack, err := s.waitAck(f.Seq, timeout)
+		switch {
+		case err == nil && ack.OK:
+			s.seq++
+			return nil
+		case err == nil:
+			lastErr = ack.Err
+		case errors.Is(err, ErrTimeout):
+			lastErr = "ack timeout"
+		default:
+			return err
+		}
+		timeout *= 2
+	}
+	return fmt.Errorf("%w: %v frame seq %d undeliverable after %d retries: %s",
+		ErrAborted, f.Type, f.Seq, s.cfg.MaxRetries, lastErr)
+}
+
+func (s *sender) waitAck(seq uint64, timeout time.Duration) (*Frame, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, ErrTimeout
+		}
+		f, err := s.conn.Recv(remain)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case f.Type == FrameAbort:
+			return nil, fmt.Errorf("%w by receiver: %s", ErrAborted, f.Err)
+		case f.Type == FrameAck && f.AckSeq == seq:
+			return f, nil
+		}
+		// Stale ack from a duplicated frame: keep waiting.
+	}
+}
+
+// abort tears the migration down after a failure: best-effort abort frame
+// to the peer, then SEND_CANCEL and dirty-log teardown so the source VM
+// is intact and runnable.
+func (s *sender) abort(cause error) {
+	_ = s.conn.Send(&Frame{Type: FrameAbort, Seq: s.seq, Err: cause.Error()})
+	_ = s.src.StopDirty()
+	_ = s.src.Cancel()
+}
+
+func (s *sender) publish() {
+	h := s.cfg.Hub
+	if h == nil {
+		return
+	}
+	h.Reg.Counter("migrate.redirtied").Add(uint64(s.stats.Redirtied))
+	h.Reg.Counter("migrate.bytes_wire").Add(s.stats.BytesOnWire)
+	h.Reg.Gauge("migrate.downtime_cycles").Set(int64(s.stats.DowntimeCycles))
+	h.Reg.Gauge("migrate.last_rounds").Set(int64(s.stats.Rounds))
+	if h.Tracing() {
+		h.Emit(telemetry.KindMigrateDone, 0, 0, s.stats.DowntimeCycles,
+			uint64(s.stats.Rounds), s.stats.DowntimeCycles)
+	}
+}

@@ -1,0 +1,469 @@
+package migrate
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"fidelius/internal/cycles"
+	"fidelius/internal/sev"
+)
+
+// fakeSource simulates a guest as a version number per page plus a
+// scripted sequence of writes executed one per quantum. Packets carry
+// (gfn, version) with a real SHA-256 tag so a corrupting transport is
+// caught by the fake target's tag check, mirroring the firmware's.
+type fakeSource struct {
+	name     string
+	pages    int
+	mem      map[uint64]uint64
+	dirty    map[uint64]bool
+	tracking bool
+	script   []uint64 // gfn written per quantum; empty => guest done
+	pos      int
+	loop     bool // loop the script forever (a never-idle writer)
+	pktSeq   uint64
+	cyc      uint64
+	started    bool
+	finished   bool
+	canceled   bool
+	failFinish error
+}
+
+func newFakeSource(pages int, script []uint64) *fakeSource {
+	s := &fakeSource{name: "guest", pages: pages, mem: map[uint64]uint64{}, dirty: map[uint64]bool{}, script: script}
+	for g := 0; g < pages; g++ {
+		s.mem[uint64(g)] = 1
+	}
+	return s
+}
+
+func (s *fakeSource) Name() string  { return s.name }
+func (s *fakeSource) MemPages() int { return s.pages }
+
+func (s *fakeSource) BackedGFNs() []uint64 {
+	out := make([]uint64, 0, s.pages)
+	for g := 0; g < s.pages; g++ {
+		out = append(out, uint64(g))
+	}
+	return out
+}
+
+func (s *fakeSource) StartDirty() error {
+	s.tracking = true
+	s.dirty = map[uint64]bool{}
+	return nil
+}
+
+func (s *fakeSource) CollectDirty() ([]uint64, error) {
+	var out []uint64
+	for g := 0; g < s.pages; g++ {
+		if s.dirty[uint64(g)] {
+			out = append(out, uint64(g))
+		}
+	}
+	s.dirty = map[uint64]bool{}
+	return out, nil
+}
+
+func (s *fakeSource) StopDirty() error {
+	s.tracking = false
+	return nil
+}
+
+func (s *fakeSource) SendStart() (sev.WrappedKeys, []byte, error) {
+	s.started = true
+	return sev.WrappedKeys{Ciphertext: []byte("wrapped-tek-tik")}, []byte("nonce-nonce-nonce"), nil
+}
+
+func fakePacket(seq, gfn, version uint64) sev.Packet {
+	data := make([]byte, 16)
+	binary.LittleEndian.PutUint64(data[:8], gfn)
+	binary.LittleEndian.PutUint64(data[8:], version)
+	return sev.Packet{Seq: seq, Data: data, Tag: sha256.Sum256(data)}
+}
+
+func (s *fakeSource) SendPage(gfn uint64) (sev.Packet, error) {
+	pkt := fakePacket(s.pktSeq, gfn, s.mem[gfn])
+	s.pktSeq++
+	s.cyc += 100
+	return pkt, nil
+}
+
+func (s *fakeSource) SendFinish() (sev.Measurement, error) {
+	if s.failFinish != nil {
+		return sev.Measurement{}, s.failFinish
+	}
+	s.finished = true
+	return sev.Measurement{0xAA}, nil
+}
+
+func (s *fakeSource) Cancel() error {
+	s.canceled = true
+	return nil
+}
+
+func (s *fakeSource) RunQuantum() (bool, error) {
+	if s.pos >= len(s.script) {
+		if !s.loop || len(s.script) == 0 {
+			return true, nil
+		}
+		s.pos = 0
+	}
+	gfn := s.script[s.pos]
+	s.pos++
+	s.mem[gfn]++
+	if s.tracking {
+		s.dirty[gfn] = true
+	}
+	s.cyc += 1000
+	return false, nil
+}
+
+func (s *fakeSource) Cycles() uint64 { return s.cyc }
+
+// fakeTarget reconstructs memory from packets, verifying the tag of every
+// packet and that firmware sequence numbers arrive strictly in order —
+// the invariant a duplicated or reordered transport must not break.
+type fakeTarget struct {
+	started  bool
+	finished bool
+	aborted  bool
+	nextSeq  uint64
+	mem      map[uint64]uint64
+	applies  int
+}
+
+func (t *fakeTarget) ReceiveStart(name string, memPages int, kwrap sev.WrappedKeys, nonce []byte) error {
+	if t.started {
+		return errors.New("double start")
+	}
+	if name == "" || memPages <= 0 || len(kwrap.Ciphertext) == 0 || len(nonce) == 0 {
+		return errors.New("bad start frame")
+	}
+	t.started = true
+	t.mem = map[uint64]uint64{}
+	return nil
+}
+
+func (t *fakeTarget) ReceivePage(gfn uint64, pkt sev.Packet) error {
+	if !t.started {
+		return errors.New("page before start")
+	}
+	if sha256.Sum256(pkt.Data) != pkt.Tag {
+		return errors.New("bad tag")
+	}
+	if pkt.Seq != t.nextSeq {
+		return fmt.Errorf("firmware seq %d, want %d", pkt.Seq, t.nextSeq)
+	}
+	t.nextSeq++
+	t.applies++
+	g := binary.LittleEndian.Uint64(pkt.Data[:8])
+	if g != gfn {
+		return errors.New("gfn mismatch")
+	}
+	t.mem[gfn] = binary.LittleEndian.Uint64(pkt.Data[8:])
+	return nil
+}
+
+func (t *fakeTarget) ReceiveFinish(mvm sev.Measurement) error {
+	if mvm != (sev.Measurement{0xAA}) {
+		return errors.New("measurement mismatch")
+	}
+	t.finished = true
+	return nil
+}
+
+func (t *fakeTarget) Abort() error {
+	t.aborted = true
+	return nil
+}
+
+// runMigration wires src→conn→tgt with Receive on a goroutine and
+// returns Send's outcome.
+func runMigration(t *testing.T, src Source, tgt Target, senderConn, receiverConn Conn, cfg Config) (*Stats, error, error) {
+	t.Helper()
+	recvErr := make(chan error, 1)
+	go func() { recvErr <- Receive(tgt, receiverConn) }()
+	stats, err := Send(src, senderConn, cfg)
+	var rerr error
+	select {
+	case rerr = <-recvErr:
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver did not terminate")
+	}
+	return stats, err, rerr
+}
+
+func checkMemEqual(t *testing.T, src *fakeSource, tgt *fakeTarget) {
+	t.Helper()
+	for g := 0; g < src.pages; g++ {
+		if tgt.mem[uint64(g)] != src.mem[uint64(g)] {
+			t.Errorf("gfn %d: target has version %d, source has %d", g, tgt.mem[uint64(g)], src.mem[uint64(g)])
+		}
+	}
+}
+
+func TestLiveMigrationConverges(t *testing.T) {
+	// 32 pages; the guest rewrites a 4-page working set for a while and
+	// then idles, so pre-copy must converge without forcing.
+	script := make([]uint64, 0, 40)
+	for i := 0; i < 40; i++ {
+		script = append(script, uint64(i%4))
+	}
+	src := newFakeSource(32, script)
+	tgt := &fakeTarget{}
+	a, b := Pipe(4)
+	stats, err, rerr := runMigration(t, src, tgt, a, b, Config{FinalPages: 4, AckTimeout: time.Second})
+	if err != nil || rerr != nil {
+		t.Fatalf("send err=%v recv err=%v", err, rerr)
+	}
+	if !tgt.finished || !src.finished {
+		t.Fatal("migration did not complete on both sides")
+	}
+	if stats.Rounds < 2 {
+		t.Fatalf("expected iterative rounds, got %d", stats.Rounds)
+	}
+	if stats.ForcedFinal {
+		t.Fatal("bounded working set should converge, not force the final round")
+	}
+	if stats.PagesSent != tgt.applies {
+		t.Fatalf("sent %d pages, target applied %d", stats.PagesSent, tgt.applies)
+	}
+	checkMemEqual(t, src, tgt)
+}
+
+func TestHighDirtyRateForcesFinalRound(t *testing.T) {
+	// The guest rewrites 16 of 24 pages forever: the dirty set can never
+	// drop below FinalPages, so the heuristic must force the final round
+	// rather than loop.
+	script := make([]uint64, 16)
+	for i := range script {
+		script[i] = uint64(i)
+	}
+	src := newFakeSource(24, script)
+	src.loop = true
+	tgt := &fakeTarget{}
+	a, b := Pipe(4)
+	stats, err, rerr := runMigration(t, src, tgt, a, b, Config{FinalPages: 4, MaxRounds: 50, AckTimeout: time.Second})
+	if err != nil || rerr != nil {
+		t.Fatalf("send err=%v recv err=%v", err, rerr)
+	}
+	if !stats.ForcedFinal {
+		t.Fatal("non-converging guest must trigger the forced final round")
+	}
+	if stats.Rounds >= 50 {
+		t.Fatalf("forced long before MaxRounds, got %d rounds", stats.Rounds)
+	}
+	checkMemEqual(t, src, tgt)
+	if !tgt.finished {
+		t.Fatal("target did not activate")
+	}
+}
+
+func TestStopAndCopyBaseline(t *testing.T) {
+	src := newFakeSource(16, []uint64{1, 2, 3})
+	tgt := &fakeTarget{}
+	a, b := Pipe(4)
+	stats, err, rerr := runMigration(t, src, tgt, a, b, Config{StopAndCopy: true, AckTimeout: time.Second})
+	if err != nil || rerr != nil {
+		t.Fatalf("send err=%v recv err=%v", err, rerr)
+	}
+	if stats.Rounds != 1 {
+		t.Fatalf("stop-and-copy is one round, got %d", stats.Rounds)
+	}
+	if src.tracking {
+		t.Fatal("stop-and-copy must not arm dirty tracking")
+	}
+	if got := src.mem[1]; got != 1 {
+		t.Fatalf("guest ran during stop-and-copy: page 1 version %d", got)
+	}
+	checkMemEqual(t, src, tgt)
+}
+
+func TestTransportDropIsRetried(t *testing.T) {
+	src := newFakeSource(16, []uint64{1, 2, 1, 2})
+	tgt := &fakeTarget{}
+	a, b := Pipe(8)
+	lossy := &Faulty{Conn: a, DropEvery: 3}
+	stats, err, rerr := runMigration(t, src, tgt, lossy, b, Config{AckTimeout: 50 * time.Millisecond})
+	if err != nil || rerr != nil {
+		t.Fatalf("send err=%v recv err=%v", err, rerr)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("a dropping transport must cost retries")
+	}
+	if stats.PagesSent != tgt.applies {
+		t.Fatalf("retries must not double-apply: sent %d, applied %d", stats.PagesSent, tgt.applies)
+	}
+	checkMemEqual(t, src, tgt)
+}
+
+func TestTransportDuplicateAppliedOnce(t *testing.T) {
+	src := newFakeSource(16, []uint64{1, 2, 1, 2})
+	tgt := &fakeTarget{}
+	a, b := Pipe(16)
+	dup := &Faulty{Conn: a, DupEvery: 2}
+	stats, err, rerr := runMigration(t, src, tgt, dup, b, Config{AckTimeout: time.Second})
+	if err != nil || rerr != nil {
+		t.Fatalf("send err=%v recv err=%v", err, rerr)
+	}
+	// fakeTarget's strict firmware-seq check fails the test if any
+	// duplicate is applied twice.
+	if stats.PagesSent != tgt.applies {
+		t.Fatalf("duplicates must collapse: sent %d, applied %d", stats.PagesSent, tgt.applies)
+	}
+	checkMemEqual(t, src, tgt)
+}
+
+func TestTransientCorruptionIsRetried(t *testing.T) {
+	src := newFakeSource(16, []uint64{1, 2, 1, 2})
+	tgt := &fakeTarget{}
+	a, b := Pipe(8)
+	mitm := &Faulty{Conn: a, CorruptEvery: 5}
+	stats, err, rerr := runMigration(t, src, tgt, mitm, b, Config{AckTimeout: time.Second})
+	if err != nil || rerr != nil {
+		t.Fatalf("send err=%v recv err=%v", err, rerr)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("corrupted frames must be nacked and retried")
+	}
+	checkMemEqual(t, src, tgt)
+}
+
+func TestRetryExhaustionAbortsCleanly(t *testing.T) {
+	src := newFakeSource(8, nil)
+	a, _ := Pipe(16) // nobody ever acks
+	stats, err := Send(src, a, Config{AckTimeout: 5 * time.Millisecond, MaxRetries: 2})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	if !src.canceled {
+		t.Fatal("abort must SEND_CANCEL the source back to running")
+	}
+	if src.tracking {
+		t.Fatal("abort must tear down dirty tracking")
+	}
+	if stats.Retries != 2 {
+		t.Fatalf("want 2 retries, got %d", stats.Retries)
+	}
+}
+
+func TestSenderAbortReachesReceiver(t *testing.T) {
+	// A source-side failure after pages have flowed must propagate an
+	// abort frame so the target scrubs its half-received state.
+	src := newFakeSource(8, nil)
+	src.failFinish = errors.New("firmware says no")
+	tgt := &fakeTarget{}
+	a, b := Pipe(8)
+	_, err, rerr := runMigration(t, src, tgt, a, b, Config{AckTimeout: time.Second})
+	if err == nil {
+		t.Fatal("want sender error")
+	}
+	if !errors.Is(rerr, ErrAborted) {
+		t.Fatalf("receiver should see the abort, got %v", rerr)
+	}
+	if !tgt.aborted {
+		t.Fatal("target must scrub on abort")
+	}
+	if !src.canceled {
+		t.Fatal("source must cancel back to running")
+	}
+}
+
+func TestReceiverSequenceDiscipline(t *testing.T) {
+	// Drive the receiver by hand: a gap is nacked, a duplicate is
+	// re-acked without re-applying, and in-order frames advance.
+	tgt := &fakeTarget{}
+	a, b := Pipe(8)
+	done := make(chan error, 1)
+	go func() { done <- Receive(tgt, b) }()
+
+	mustAck := func(want bool) *Frame {
+		t.Helper()
+		f, err := a.Recv(time.Second)
+		if err != nil {
+			t.Fatalf("recv ack: %v", err)
+		}
+		if f.Type != FrameAck || f.OK != want {
+			t.Fatalf("got %v ok=%v, want ack ok=%v (%s)", f.Type, f.OK, want, f.Err)
+		}
+		return f
+	}
+
+	start := &Frame{Type: FrameStart, Seq: 0, Name: "g", MemPages: 8,
+		Kwrap: sev.WrappedKeys{Ciphertext: []byte("k")}, Nonce: []byte("n")}
+	if err := a.Send(start); err != nil {
+		t.Fatal(err)
+	}
+	mustAck(true)
+
+	// Gap: seq 2 while 1 is expected.
+	if err := a.Send(&Frame{Type: FramePage, Seq: 2, GFN: 0, Pkt: fakePacket(1, 0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	mustAck(false)
+
+	// The missing frame arrives; then its duplicate is re-acked but the
+	// target must see the packet exactly once.
+	pg := &Frame{Type: FramePage, Seq: 1, GFN: 3, Pkt: fakePacket(0, 3, 7)}
+	if err := a.Send(pg); err != nil {
+		t.Fatal(err)
+	}
+	mustAck(true)
+	if err := a.Send(pg); err != nil {
+		t.Fatal(err)
+	}
+	mustAck(true)
+	if tgt.applies != 1 {
+		t.Fatalf("duplicate was re-applied: %d applies", tgt.applies)
+	}
+
+	if err := a.Send(&Frame{Type: FrameFinish, Seq: 2, Mvm: sev.Measurement{0xAA}}); err != nil {
+		t.Fatal(err)
+	}
+	mustAck(true)
+	if err := <-done; err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+	if !tgt.finished || tgt.mem[3] != 7 {
+		t.Fatal("receiver state wrong after manual protocol drive")
+	}
+}
+
+func TestLinkChargesCycles(t *testing.T) {
+	var ctr cycles.Counter
+	a, b := Pipe(4)
+	l := &Link{Conn: a, Counter: &ctr, CyclesPerByte: DefaultCyclesPerByte, LatencyCycles: DefaultLatencyCycles}
+	f := &Frame{Type: FramePage, Pkt: fakePacket(0, 1, 1)}
+	if err := l.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultLatencyCycles + WireSize(f)*DefaultCyclesPerByte
+	if ctr.Total() != want {
+		t.Fatalf("link charged %d cycles, want %d", ctr.Total(), want)
+	}
+	if _, err := b.Recv(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeCloseUnblocks(t *testing.T) {
+	a, b := Pipe(1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(0)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := a.Send(&Frame{Type: FrameAbort}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed pipe: want ErrClosed, got %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+
+	"fidelius/internal/sev"
+)
+
+// Target is the receiving platform as the engine sees it: the four
+// RECEIVE-side operations, applied strictly in arrival order. A nil
+// error from ReceiveFinish means the measurement verified and the VM
+// activated on the target.
+type Target interface {
+	ReceiveStart(name string, memPages int, kwrap sev.WrappedKeys, nonce []byte) error
+	ReceivePage(gfn uint64, pkt sev.Packet) error
+	ReceiveFinish(mvm sev.Measurement) error
+	// Abort scrubs any partially-received state.
+	Abort() error
+}
+
+// Receive runs the target side of a migration until FrameFinish is
+// applied successfully, the sender aborts, or the connection dies. It is
+// the ARQ peer of Send: frames apply strictly in sequence order —
+// duplicates (a retry whose original ack was lost) are re-acked without
+// re-applying, gaps (a dropped frame the sender will retry) are nacked,
+// and an apply failure (a tampered packet failing its tag or the final
+// measurement check) nacks without advancing, so a clean retransmission
+// of the same sequence number can still succeed.
+func Receive(tgt Target, conn Conn) error {
+	var expected uint64
+	for {
+		f, err := conn.Recv(0)
+		if err != nil {
+			_ = tgt.Abort()
+			return fmt.Errorf("migrate: receive: %w", err)
+		}
+		switch {
+		case f.Type == FrameAbort:
+			_ = tgt.Abort()
+			return fmt.Errorf("%w by sender: %s", ErrAborted, f.Err)
+		case f.Type == FrameAck:
+			continue // not ours to handle; ignore
+		case f.Seq < expected:
+			// Duplicate of an already-applied frame: its ack was lost or
+			// the network duplicated it. Re-ack, do not re-apply — the
+			// firmware stream must see each packet exactly once.
+			if err := sendAck(conn, f.Seq, nil); err != nil {
+				_ = tgt.Abort()
+				return err
+			}
+			continue
+		case f.Seq > expected:
+			// Gap: an earlier frame is still missing. Nack so the sender
+			// keeps retrying it; applying out of order would desequence
+			// the firmware stream.
+			err := fmt.Errorf("sequence gap: got %d, want %d", f.Seq, expected)
+			if err := sendAck(conn, f.Seq, err); err != nil {
+				_ = tgt.Abort()
+				return err
+			}
+			continue
+		}
+
+		applyErr := apply(tgt, f)
+		if ackErr := sendAck(conn, f.Seq, applyErr); ackErr != nil {
+			_ = tgt.Abort()
+			return ackErr
+		}
+		if applyErr != nil {
+			// The frame was delivered but rejected (bad tag, bad
+			// measurement, bad geometry). Do not advance: the sender may
+			// retransmit an uncorrupted copy under the same sequence
+			// number. Terminal errors end here when the sender's retry
+			// budget runs out and it sends FrameAbort.
+			continue
+		}
+		expected++
+		if f.Type == FrameFinish {
+			return nil
+		}
+	}
+}
+
+func apply(tgt Target, f *Frame) error {
+	switch f.Type {
+	case FrameStart:
+		return tgt.ReceiveStart(f.Name, f.MemPages, f.Kwrap, f.Nonce)
+	case FramePage:
+		return tgt.ReceivePage(f.GFN, f.Pkt)
+	case FrameFinish:
+		return tgt.ReceiveFinish(f.Mvm)
+	}
+	return fmt.Errorf("migrate: unexpected frame type %v", f.Type)
+}
+
+func sendAck(conn Conn, seq uint64, applyErr error) error {
+	ack := &Frame{Type: FrameAck, AckSeq: seq, OK: applyErr == nil}
+	if applyErr != nil {
+		ack.Err = applyErr.Error()
+	}
+	if err := conn.Send(ack); err != nil {
+		if errors.Is(err, ErrClosed) {
+			return fmt.Errorf("migrate: receive: %w", err)
+		}
+		return err
+	}
+	return nil
+}

@@ -26,7 +26,27 @@ type Nested struct {
 	// GuestPTEncrypted reports whether the guest keeps its page tables in
 	// encrypted memory (the SEV default).
 	GuestPTEncrypted bool
+	// Dirty, when armed, logs the GPA of every write that faults on a
+	// write-protected NPT leaf — the dirty-page tracking live migration
+	// drives by clearing W bits on the nested table.
+	Dirty *DirtyLog
 }
+
+// StartDirtyLog arms the walker's dirty log, allocating it on first use
+// for a guest of the given page count.
+func (n *Nested) StartDirtyLog(pages int) {
+	if n.Dirty == nil {
+		n.Dirty = NewDirtyLog(pages)
+	}
+	n.Dirty.Start()
+}
+
+// StopDirtyLog disarms the walker's dirty log.
+func (n *Nested) StopDirtyLog() { n.Dirty.Stop() }
+
+// CollectDirty drains the walker's dirty log, returning the GFNs written
+// (and faulted) since the previous collection.
+func (n *Nested) CollectDirty() []uint64 { return n.Dirty.Collect() }
 
 // npfAccess translates a guest-table GPA through the NPT, raising an
 // NPTViolation on failure.
@@ -34,6 +54,11 @@ func (n *Nested) gpaToHPA(gpa uint64, access AccessType) (hw.PhysAddr, PTE, erro
 	tr, err := n.NPT.Translate(gpa, access, true, false)
 	if err != nil {
 		if pf, ok := err.(*PageFault); ok {
+			if access == Write && pf.Reason == WriteProtected && n.Dirty.MarkGPA(gpa) {
+				if h := n.hub(); h != nil {
+					h.M.DirtyMarks.Inc()
+				}
+			}
 			if h := n.hub(); h != nil {
 				h.M.NPTViolations.Inc()
 				if h.Tracing() {

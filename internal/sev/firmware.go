@@ -61,6 +61,7 @@ var (
 	ErrBadMeasurement = errors.New("sev: measurement mismatch")
 	ErrBadTag         = errors.New("sev: transport tag verification failed")
 	ErrNotAligned     = errors.New("sev: buffer not block aligned")
+	ErrBadSequence    = errors.New("sev: receive_update out of sequence")
 )
 
 // Packet is one SEND_UPDATE output / RECEIVE_UPDATE input: a chunk of
@@ -543,6 +544,32 @@ func (f *Firmware) ReceiveIO(h Handle, pa hw.PhysAddr, data []byte, seq uint64) 
 	return f.ctl.FirmwareWrite(pa, plain)
 }
 
+// SendCancel aborts a SEND session (the SEND_CANCEL command): the
+// transport keys and partial measurement are scrubbed and the context
+// returns to the running state, so a failed migration resumes the source
+// guest instead of leaving it stranded mid-send. Cancelling from the
+// sent state is also allowed: in this retrofit the memory key never
+// leaves the controller during a send, so until the owner destroys the
+// context "sent" only records a finalized transport measurement — if the
+// target rejects that measurement, the source rolls back and keeps
+// running.
+func (f *Firmware) SendCancel(h Handle) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateSending && c.state != StateSent {
+		return fmt.Errorf("%w: send_cancel in %v", ErrBadState, c.state)
+	}
+	c.transport = TransportKeys{}
+	c.measure = Measurement{}
+	c.seq = 0
+	c.state = StateRunning
+	f.charge(cycles.SEVCommand)
+	f.command("send-cancel", h)
+	return nil
+}
+
 // SendFinish closes the SEND session and returns the snapshot measurement
 // (the paper's Mvm).
 func (f *Firmware) SendFinish(h Handle) (Measurement, error) {
@@ -608,7 +635,11 @@ func (f *Firmware) ReceiveHelperStart(base Handle, w WrappedKeys, originPub *ecd
 }
 
 // ReceiveUpdate decrypts one transport packet and writes the page
-// re-encrypted with the context's Kvek at pfn.
+// re-encrypted with the context's Kvek at pfn. Packets must arrive in
+// sequence order: the context tracks the next expected sequence number,
+// so replayed or reordered packets are rejected before they can perturb
+// the measurement chain. (The buffer/I/O variants use caller-chosen
+// sector tweaks and are exempt.)
 func (f *Firmware) ReceiveUpdate(h Handle, pfn hw.PFN, pkt Packet) error {
 	c, err := f.ctx(h)
 	if err != nil {
@@ -617,10 +648,14 @@ func (f *Firmware) ReceiveUpdate(h Handle, pfn hw.PFN, pkt Packet) error {
 	if c.state != StateReceiving {
 		return fmt.Errorf("%w: receive_update in %v", ErrBadState, c.state)
 	}
+	if pkt.Seq != c.seq {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadSequence, pkt.Seq, c.seq)
+	}
 	plain, err := openPacket(c.transport, pkt)
 	if err != nil {
 		return err
 	}
+	c.seq++
 	if len(plain) != hw.PageSize {
 		return fmt.Errorf("sev: receive_update packet is %d bytes, want a page", len(plain))
 	}

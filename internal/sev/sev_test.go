@@ -3,6 +3,7 @@ package sev
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -190,7 +191,8 @@ func TestReceiveDetectsTamper(t *testing.T) {
 	if err := fw.ReceiveUpdate(h, 5, bad); !errors.Is(err, ErrBadTag) {
 		t.Fatalf("want ErrBadTag, got %v", err)
 	}
-	// Replaying a stale packet out of order corrupts the measurement.
+	// Replaying an already-consumed packet is rejected by the sequence
+	// check before it can touch the measurement chain.
 	h2, err := fw.ReceiveStart(kwrap, owner.PublicKey(), owner.Nonce())
 	if err != nil {
 		t.Fatal(err)
@@ -198,10 +200,13 @@ func TestReceiveDetectsTamper(t *testing.T) {
 	if err := fw.ReceiveUpdate(h2, 5, img.Pages[0]); err != nil {
 		t.Fatal(err)
 	}
-	if err := fw.ReceiveUpdate(h2, 6, img.Pages[0]); err != nil {
-		t.Fatal(err)
+	if err := fw.ReceiveUpdate(h2, 6, img.Pages[0]); !errors.Is(err, ErrBadSequence) {
+		t.Fatalf("want ErrBadSequence on replay, got %v", err)
 	}
-	if err := fw.ReceiveFinish(h2, img.Measurement); !errors.Is(err, ErrBadMeasurement) {
+	// A forged final measurement still fails RECEIVE_FINISH.
+	badMvm := img.Measurement
+	badMvm[0] ^= 0xFF
+	if err := fw.ReceiveFinish(h2, badMvm); !errors.Is(err, ErrBadMeasurement) {
 		t.Fatalf("want ErrBadMeasurement, got %v", err)
 	}
 }
@@ -230,12 +235,16 @@ func TestMigrationSendReceive(t *testing.T) {
 	origin, octl := newFW(t, 32)
 	target, tctl := newFW(t, 32)
 
-	// Launch a guest on the origin with known content.
+	// Launch a multi-page guest on the origin with known content.
 	h, _ := origin.LaunchStart(0)
-	secret := bytes.Repeat([]byte("migrate me 1234!"), hw.PageSize/16)
-	octl.Mem.WriteRaw(hw.PFN(3).Addr(), secret)
-	if err := origin.LaunchUpdateData(h, 3); err != nil {
-		t.Fatal(err)
+	srcPFNs := []hw.PFN{3, 4, 5}
+	secrets := make([][]byte, len(srcPFNs))
+	for i, pfn := range srcPFNs {
+		secrets[i] = bytes.Repeat([]byte(fmt.Sprintf("migrate me %04d!", i)), hw.PageSize/16)
+		octl.Mem.WriteRaw(pfn.Addr(), secrets[i])
+		if err := origin.LaunchUpdateData(h, pfn); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := origin.LaunchFinish(h); err != nil {
 		t.Fatal(err)
@@ -248,9 +257,11 @@ func TestMigrationSendReceive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkt, err := origin.SendUpdate(h, 3)
-	if err != nil {
-		t.Fatal(err)
+	pkts := make([]Packet, len(srcPFNs))
+	for i, pfn := range srcPFNs {
+		if pkts[i], err = origin.SendUpdate(h, pfn); err != nil {
+			t.Fatal(err)
+		}
 	}
 	mvm, err := origin.SendFinish(h)
 	if err != nil {
@@ -263,8 +274,19 @@ func TestMigrationSendReceive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := target.ReceiveUpdate(th, 7, pkt); err != nil {
-		t.Fatal(err)
+	dstPFNs := []hw.PFN{7, 8, 9}
+	// Out-of-order delivery is rejected by the sequence check.
+	if err := target.ReceiveUpdate(th, dstPFNs[1], pkts[1]); !errors.Is(err, ErrBadSequence) {
+		t.Fatalf("want ErrBadSequence for out-of-order packet, got %v", err)
+	}
+	for i, pfn := range dstPFNs {
+		if err := target.ReceiveUpdate(th, pfn, pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replaying a consumed packet is rejected too.
+	if err := target.ReceiveUpdate(th, dstPFNs[0], pkts[0]); !errors.Is(err, ErrBadSequence) {
+		t.Fatalf("want ErrBadSequence for replayed packet, got %v", err)
 	}
 	if err := target.ReceiveFinish(th, mvm); err != nil {
 		t.Fatal(err)
@@ -272,20 +294,64 @@ func TestMigrationSendReceive(t *testing.T) {
 	if err := target.Activate(th, 2); err != nil {
 		t.Fatal(err)
 	}
-	got := make([]byte, hw.PageSize)
-	if err := tctl.Read(hw.Access{PA: hw.PFN(7).Addr(), Encrypted: true, ASID: 2}, got); err != nil {
+	for i, pfn := range dstPFNs {
+		got := make([]byte, hw.PageSize)
+		if err := tctl.Read(hw.Access{PA: pfn.Addr(), Encrypted: true, ASID: 2}, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, secrets[i]) {
+			t.Fatalf("migrated page %d mismatch", i)
+		}
+		// The transported packets themselves are ciphertext.
+		if bytes.Contains(pkts[i].Data, []byte("migrate me")) {
+			t.Fatalf("transport packet %d holds plaintext", i)
+		}
+	}
+	// SEND_FINISH retired the origin context: further updates illegal.
+	if _, err := origin.SendUpdate(h, srcPFNs[0]); !errors.Is(err, ErrBadState) {
+		t.Fatalf("want ErrBadState after finish, got %v", err)
+	}
+}
+
+func TestSendCancelResumesGuest(t *testing.T) {
+	// SEND_CANCEL aborts an in-progress migration and returns the context
+	// to the running state with the transport session scrubbed.
+	origin, octl := newFW(t, 32)
+	target, _ := newFW(t, 32)
+	h, _ := origin.LaunchStart(0)
+	octl.Mem.WriteRaw(hw.PFN(3).Addr(), bytes.Repeat([]byte{9}, hw.PageSize))
+	if err := origin.LaunchUpdateData(h, 3); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, secret) {
-		t.Fatal("migrated page mismatch")
+	if err := origin.LaunchFinish(h); err != nil {
+		t.Fatal(err)
 	}
-	// The transported packet itself is ciphertext.
-	if bytes.Contains(pkt.Data, []byte("migrate me 1234!")) {
-		t.Fatal("transport packet holds plaintext")
+	targetPub, _ := target.PublicKey()
+	if _, err := origin.SendStart(h, targetPub, []byte("cancelled-run!")); err != nil {
+		t.Fatal(err)
 	}
-	// SEND_START stopped the origin guest: further updates illegal.
+	if _, err := origin.SendUpdate(h, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := origin.SendCancel(h); err != nil {
+		t.Fatal(err)
+	}
+	// Back to running: a fresh SEND session starts from scratch.
 	if _, err := origin.SendUpdate(h, 3); !errors.Is(err, ErrBadState) {
-		t.Fatalf("want ErrBadState after finish, got %v", err)
+		t.Fatalf("want ErrBadState outside a session, got %v", err)
+	}
+	if err := origin.SendCancel(h); !errors.Is(err, ErrBadState) {
+		t.Fatalf("want ErrBadState cancelling outside a session, got %v", err)
+	}
+	if _, err := origin.SendStart(h, targetPub, []byte("second-attempt")); err != nil {
+		t.Fatalf("fresh SEND after cancel: %v", err)
+	}
+	pkt, err := origin.SendUpdate(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Seq != 0 {
+		t.Fatalf("cancel must reset the transport sequence, got %d", pkt.Seq)
 	}
 }
 

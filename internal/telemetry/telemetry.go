@@ -49,6 +49,8 @@ const (
 	KindIOCrypt            // SEV I/O re-encryption op (arg1 = LBA, arg2 = sectors)
 	KindEvtSignal          // event-channel kick (arg1 = port)
 	KindViolation          // policy violation recorded (detail = kind: detail)
+	KindMigrateRound       // one pre-copy round shipped (arg1 = round, arg2 = pages)
+	KindMigrateDone        // migration finished (arg1 = rounds, arg2 = downtime cycles)
 
 	numKinds
 )
@@ -73,6 +75,8 @@ var kindNames = [numKinds]string{
 	KindIOCrypt:       "io-crypt",
 	KindEvtSignal:     "evt-signal",
 	KindViolation:     "violation",
+	KindMigrateRound:  "migrate-round",
+	KindMigrateDone:   "migrate-done",
 }
 
 var kindCats = [numKinds]string{
@@ -95,6 +99,8 @@ var kindCats = [numKinds]string{
 	KindIOCrypt:       "io",
 	KindEvtSignal:     "xen",
 	KindViolation:     "policy",
+	KindMigrateRound:  "migrate",
+	KindMigrateDone:   "migrate",
 }
 
 // String reports the event name used in exports.
@@ -144,6 +150,7 @@ type Metrics struct {
 	NPTViolations       *Counter // mmu.npt_violations
 	PTWalks             *Counter // mmu.pt_walks
 	SEVCommands         *Counter // sev.commands
+	DirtyMarks          *Counter // mmu.dirty_marks
 	BlkRequests         *Counter // blk.requests
 	BlkSectors          *Counter // blk.sectors
 	EvtSignals          *Counter // evt.signals
@@ -168,6 +175,7 @@ func newMetrics(r *Registry) Metrics {
 		NPTViolations:  r.Counter("mmu.npt_violations"),
 		PTWalks:        r.Counter("mmu.pt_walks"),
 		SEVCommands:    r.Counter("sev.commands"),
+		DirtyMarks:     r.Counter("mmu.dirty_marks"),
 		BlkRequests:    r.Counter("blk.requests"),
 		BlkSectors:     r.Counter("blk.sectors"),
 		EvtSignals:     r.Counter("evt.signals"),

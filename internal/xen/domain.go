@@ -90,6 +90,10 @@ type Domain struct {
 	// Frames maps guest frame number to host frame (0 = unbacked).
 	Frames []hw.PFN
 
+	// Dirty is the domain's dirty-page log, armed by StartDirtyLog during
+	// pre-copy live migration.
+	Dirty *mmu.DirtyLog
+
 	// Grant is this domain's grant table.
 	Grant *GrantTable
 
@@ -146,6 +150,7 @@ func (x *Xen) CreateDomain(cfg DomainConfig) (*Domain, error) {
 		MemPages: cfg.MemPages,
 		SEV:      cfg.SEV,
 		Frames:   make([]hw.PFN, cfg.MemPages),
+		Dirty:    mmu.NewDirtyLog(cfg.MemPages),
 	}
 	x.nextDom++
 

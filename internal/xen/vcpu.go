@@ -452,6 +452,7 @@ func (x *Xen) StartVCPU(d *Domain, fn GuestFunc) *VCPU {
 				NPT:              d.NPT,
 				ASID:             d.ASID,
 				GuestPTEncrypted: d.SEV,
+				Dirty:            d.Dirty,
 			},
 		}
 		err := fn(g)

@@ -178,14 +178,18 @@ func (x *Xen) handleExit(d *Domain) error {
 
 // handleNPF backs an unmapped GPA with a fresh frame (lazy population) or
 // upgrades permissions. Every NPT write goes through the interposer gate.
-func (x *Xen) handleNPF(d *Domain, gpa uint64, _ mmu.AccessType) error {
+// When the domain's dirty log is armed, a write fault on an already-backed
+// page is dirty-logging in action: the GFN is recorded before the W bit is
+// restored.
+func (x *Xen) handleNPF(d *Domain, gpa uint64, access mmu.AccessType) error {
 	x.M.Ctl.Telem.M.NPFHandled.Inc()
 	gfn := gpa >> hw.PageShift
 	if gfn >= uint64(len(d.Frames)) {
 		return fmt.Errorf("xen: domain %d faulted beyond its memory at gpa %#x", d.ID, gpa)
 	}
 	pfn := d.Frames[gfn]
-	if pfn == 0 {
+	fresh := pfn == 0
+	if fresh {
 		var err error
 		pfn, err = x.M.Alloc.Alloc(UseGuest, d.ID)
 		if err != nil {
@@ -193,7 +197,24 @@ func (x *Xen) handleNPF(d *Domain, gpa uint64, _ mmu.AccessType) error {
 		}
 		d.Frames[gfn] = pfn
 	}
-	return x.MapNPT(d, gpa&^uint64(hw.PageSize-1), mmu.MakePTE(pfn, mmu.FlagP|mmu.FlagW|mmu.FlagU))
+	if access == mmu.Write && d.Dirty.Mark(gfn) {
+		x.M.Ctl.Telem.M.DirtyMarks.Inc()
+	}
+	pte := mmu.MakePTE(pfn, mmu.FlagP|mmu.FlagW|mmu.FlagU)
+	if fresh && access != mmu.Write && d.Dirty.Enabled() {
+		// A page populated by a read while dirty logging is armed must
+		// stay write-protected, or its first write would go unlogged.
+		pte = mmu.MakePTE(pfn, mmu.FlagP|mmu.FlagU)
+	}
+	if slot, err := x.NPTLeafSlot(d, gpa); err == nil {
+		// Re-permitting an existing mapping (the dirty-logging W restore)
+		// must keep the leaf's other attributes — the C-bit under
+		// fidelius-enc in particular.
+		if cur, err := x.readPTE(slot); err == nil && cur.Present() && cur.PFN() == pfn {
+			pte = cur.WithFlags(mmu.FlagW)
+		}
+	}
+	return x.MapNPT(d, gpa&^uint64(hw.PageSize-1), pte)
 }
 
 // Dom returns a domain by ID.
