@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt check fuzz migrate trace examples tables attacks xsa demo clean
+.PHONY: all build test race bench benchsmoke vet fmt check fuzz migrate trace examples tables attacks xsa demo clean
 
 all: build test
 
-check: build vet test race fuzz
+check: build vet test race fuzz benchsmoke
 	$(GO) run ./examples/migration
 
 build:
@@ -29,8 +29,14 @@ migrate:
 	$(GO) run ./cmd/fidelius-migrate -faulty
 	$(GO) run ./cmd/fidelius-migrate -tamper
 
+# Full benchmark run, captured as a JSON artifact for regression diffing.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_4.json
+
+# One-iteration pass over every benchmark: catches bit-rot in the
+# benchmark harness without paying for a full measurement run.
+benchsmoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 
 vet:
 	$(GO) vet ./...

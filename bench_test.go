@@ -9,9 +9,12 @@ package fidelius
 // Run with: go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"testing"
 
 	"fidelius/internal/bench"
+	"fidelius/internal/hw"
+	"fidelius/internal/sev"
 	"fidelius/internal/workload"
 )
 
@@ -251,4 +254,99 @@ func BenchmarkGuestMemoryThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(2 * PageSize)
+}
+
+// BenchmarkBulkPageCrypt measures the firmware's bulk page-crypto fan-out
+// (SEND_UPDATE over the worker pool) at pool widths 1, 2 and 4. The output
+// is byte-identical across widths; what scales is the parallel seal phase.
+// Note that on a single-CPU host (GOMAXPROCS=1) the widths serialize onto
+// one core, so wall-clock scaling only shows on multi-core machines.
+func BenchmarkBulkPageCrypt(b *testing.B) {
+	for _, width := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", width), func(b *testing.B) {
+			ctl := hw.NewController(hw.NewMemory(256), 0)
+			fw := sev.NewFirmware(ctl)
+			if err := fw.Init(); err != nil {
+				b.Fatal(err)
+			}
+			h, err := fw.LaunchStart(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fw.LaunchFinish(h); err != nil {
+				b.Fatal(err)
+			}
+			pub, err := fw.PublicKey()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fw.SendStart(h, pub, make([]byte, 16)); err != nil {
+				b.Fatal(err)
+			}
+			fw.Pool().SetWidth(width)
+			pfns := make([]hw.PFN, 64)
+			for i := range pfns {
+				pfns[i] = hw.PFN(i + 8)
+			}
+			b.SetBytes(int64(len(pfns)) * PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fw.SendUpdatePages(h, pfns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMigrationRound measures one full live migration of a protected
+// 64-page VM between two platforms, pre-copy rounds included; the batched
+// SEND_UPDATE path carries every round's pages.
+func BenchmarkMigrationRound(b *testing.B) {
+	owner, err := NewOwner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats *MigrateStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		src, err := NewPlatform(Config{Protected: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := NewPlatform(Config{Protected: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bundle, _, err := PrepareGuest(owner, src.PlatformKey(), make([]byte, 16*PageSize), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm, err := src.LaunchVM("mig", 64, bundle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// A live workload that dirties a small working set between
+		// quanta, so pre-copy has re-dirtied pages to chase.
+		src.StartVCPU(vm, func(g *GuestEnv) error {
+			for s := uint64(0); s < 20; s++ {
+				for w := uint64(0); w < 3; w++ {
+					if err := g.Write64(0x6000+w*0x1000, s); err != nil {
+						return err
+					}
+				}
+				g.Halt()
+			}
+			return nil
+		})
+		b.StartTimer()
+		_, stats, err = LiveMigrate(src, vm, dst, MigrateConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if stats != nil {
+		b.ReportMetric(float64(stats.PagesSent), "pages-sent")
+		b.ReportMetric(float64(stats.DowntimeCycles), "downtime-cycles")
+	}
 }

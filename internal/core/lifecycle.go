@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"fidelius/internal/disk"
+	"fidelius/internal/hw"
 	"fidelius/internal/sev"
 	"fidelius/internal/xen"
 )
@@ -93,17 +94,21 @@ func (f *Fidelius) LaunchVM(name string, memPages int, b *GuestBundle) (*xen.Dom
 		return nil, err
 	}
 	// The hypervisor loads the encrypted image; Fidelius has the
-	// firmware re-encrypt it in place with Kvek. Kernel pages occupy the
-	// top of guest memory, clear of the shared I/O window.
+	// firmware re-encrypt it in place with Kvek — in bulk, so the
+	// per-page AES work fans across the firmware's worker pool. Kernel
+	// pages occupy the top of guest memory, clear of the shared I/O
+	// window.
 	base := uint64(memPages - b.Image.NumPages())
-	for i, pkt := range b.Image.Pages {
+	pfns := make([]hw.PFN, len(b.Image.Pages))
+	for i := range b.Image.Pages {
 		pfn, ok := d.GPAFrame(base + uint64(i))
 		if !ok {
 			return nil, fmt.Errorf("core: kernel gfn %d unbacked", base+uint64(i))
 		}
-		if err := f.M.FW.ReceiveUpdate(h, pfn, pkt); err != nil {
-			return nil, err
-		}
+		pfns[i] = pfn
+	}
+	if err := f.M.FW.ReceiveUpdatePages(h, pfns, b.Image.Pages); err != nil {
+		return nil, err
 	}
 	if err := f.M.FW.ReceiveFinish(h, b.Image.Measurement); err != nil {
 		return nil, err
@@ -247,16 +252,15 @@ func (f *Fidelius) MigrateOut(d *xen.Domain, targetPub *ecdh.PublicKey) (*Migrat
 		Kwrap:    kwrap,
 		Nonce:    nonce,
 	}
+	var pfns []hw.PFN
 	for gfn := uint64(0); gfn < uint64(d.MemPages); gfn++ {
-		pfn, ok := d.GPAFrame(gfn)
-		if !ok {
-			continue
+		if pfn, ok := d.GPAFrame(gfn); ok {
+			pfns = append(pfns, pfn)
 		}
-		pkt, err := f.M.FW.SendUpdate(st.Handle, pfn)
-		if err != nil {
-			return nil, err
-		}
-		bundle.Packets = append(bundle.Packets, pkt)
+	}
+	bundle.Packets, err = f.M.FW.SendUpdatePages(st.Handle, pfns)
+	if err != nil {
+		return nil, err
 	}
 	bundle.Mvm, err = f.M.FW.SendFinish(st.Handle)
 	if err != nil {
@@ -283,14 +287,16 @@ func (f *Fidelius) MigrateIn(bundle *MigrationBundle, originPub *ecdh.PublicKey)
 	if err != nil {
 		return nil, err
 	}
-	for i, pkt := range bundle.Packets {
+	pfns := make([]hw.PFN, len(bundle.Packets))
+	for i := range bundle.Packets {
 		pfn, ok := d.GPAFrame(uint64(i))
 		if !ok {
 			return nil, fmt.Errorf("core: migration gfn %d unbacked", i)
 		}
-		if err := f.M.FW.ReceiveUpdate(h, pfn, pkt); err != nil {
-			return nil, err
-		}
+		pfns[i] = pfn
+	}
+	if err := f.M.FW.ReceiveUpdatePages(h, pfns, bundle.Packets); err != nil {
+		return nil, err
 	}
 	if err := f.M.FW.ReceiveFinish(h, bundle.Mvm); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"fidelius/internal/hw"
 	"fidelius/internal/migrate"
 	"fidelius/internal/sev"
 	"fidelius/internal/xen"
@@ -70,6 +71,22 @@ func (s *liveSource) SendPage(gfn uint64) (sev.Packet, error) {
 		return sev.Packet{}, fmt.Errorf("core: live migration gfn %d unbacked", gfn)
 	}
 	return s.f.M.FW.SendUpdate(s.st.Handle, pfn)
+}
+
+// SendPages implements migrate.BatchSource: one SEND_UPDATE fan-out over
+// the firmware's worker pool per chunk, with packets (and sequence
+// numbers) in gfn order.
+func (s *liveSource) SendPages(gfns []uint64) ([]sev.Packet, error) {
+	defer s.f.enterTrusted()()
+	pfns := make([]hw.PFN, len(gfns))
+	for i, gfn := range gfns {
+		pfn, ok := s.d.GPAFrame(gfn)
+		if !ok {
+			return nil, fmt.Errorf("core: live migration gfn %d unbacked", gfn)
+		}
+		pfns[i] = pfn
+	}
+	return s.f.M.FW.SendUpdatePages(s.st.Handle, pfns)
 }
 
 func (s *liveSource) SendFinish() (sev.Measurement, error) {

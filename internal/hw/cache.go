@@ -3,6 +3,10 @@ package hw
 // LineSize is the cache line size in bytes.
 const LineSize = 64
 
+// DefaultWays is the associativity used when a cache is built from a bare
+// line count.
+const DefaultWays = 8
+
 // Cache is a small physically-indexed, physically-tagged cache holding
 // plaintext. It reproduces the micro-architectural detail the paper's
 // inter-VM remapping attack depends on: cache lines are plaintext and, on
@@ -12,64 +16,163 @@ const LineSize = 64
 //
 // The cache is write-through: stores update the line and propagate to DRAM
 // through the engine, so DRAM is always current (ciphertext).
+//
+// Organisation is set-associative with CLOCK (second-chance) replacement
+// per set: the line index selects a set, and lookup, fill and invalidate
+// all touch only that set's ways. Line storage is one flat preallocated
+// array, so filling a line never allocates and Invalidate is O(ways)
+// instead of the old map+FIFO-slice's O(capacity) order scan.
 type Cache struct {
-	lines    map[PhysAddr]*[LineSize]byte
-	order    []PhysAddr // FIFO eviction order
-	capacity int
-	hits     uint64
-	misses   uint64
+	sets int // power of two; 0 disables the cache
+	ways int
+
+	// Flat per-way state, indexed set*ways+way.
+	data  [][LineSize]byte
+	tags  []PhysAddr
+	valid []bool
+	ref   []bool
+	hand  []int // CLOCK hand, one per set
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	live      int
 }
 
-// NewCache returns a cache holding at most capacity lines. A capacity of 0
-// disables caching entirely.
+// NewCache returns a cache holding at least capacity lines (rounded up to
+// the nearest set-associative geometry: min(capacity, DefaultWays) ways ×
+// a power-of-two number of sets). A capacity of 0 disables caching
+// entirely.
 func NewCache(capacity int) *Cache {
-	return &Cache{lines: make(map[PhysAddr]*[LineSize]byte), capacity: capacity}
+	return NewCacheWays(capacity, DefaultWays)
+}
+
+// NewCacheWays builds a cache with explicit associativity. ways is clamped
+// to [1, capacity]; the set count is the smallest power of two covering
+// capacity/ways lines.
+func NewCacheWays(capacity, ways int) *Cache {
+	if capacity <= 0 {
+		return &Cache{}
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if ways > capacity {
+		ways = capacity
+	}
+	sets := 1
+	for sets*ways < capacity {
+		sets <<= 1
+	}
+	n := sets * ways
+	return &Cache{
+		sets:  sets,
+		ways:  ways,
+		data:  make([][LineSize]byte, n),
+		tags:  make([]PhysAddr, n),
+		valid: make([]bool, n),
+		ref:   make([]bool, n),
+		hand:  make([]int, sets),
+	}
 }
 
 func lineBase(pa PhysAddr) PhysAddr { return pa &^ (LineSize - 1) }
 
-// Lookup returns the cached plaintext line containing pa, if present.
-func (c *Cache) Lookup(pa PhysAddr) (*[LineSize]byte, bool) {
-	l, ok := c.lines[lineBase(pa)]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
-	}
-	return l, ok
+// setOf maps a line base address to its set index (physically indexed).
+func (c *Cache) setOf(base PhysAddr) int {
+	return int(uint64(base)/LineSize) & (c.sets - 1)
 }
 
-// Fill inserts a plaintext line, evicting FIFO if full.
+// find returns the flat way index holding base, or -1.
+func (c *Cache) find(base PhysAddr) int {
+	if c.sets == 0 {
+		return -1
+	}
+	i := c.setOf(base) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[i+w] && c.tags[i+w] == base {
+			return i + w
+		}
+	}
+	return -1
+}
+
+// Lookup returns the cached plaintext line containing pa, if present.
+func (c *Cache) Lookup(pa PhysAddr) (*[LineSize]byte, bool) {
+	if i := c.find(lineBase(pa)); i >= 0 {
+		c.hits++
+		c.ref[i] = true
+		return &c.data[i], true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Peek returns the cached line containing pa without touching hit/miss
+// statistics or replacement state — the write-buffer's view, used to
+// update cached plaintext in place on stores.
+func (c *Cache) Peek(pa PhysAddr) (*[LineSize]byte, bool) {
+	if i := c.find(lineBase(pa)); i >= 0 {
+		return &c.data[i], true
+	}
+	return nil, false
+}
+
+// Fill inserts a plaintext line, running CLOCK replacement in its set if
+// every way is occupied.
 func (c *Cache) Fill(pa PhysAddr, data *[LineSize]byte) {
-	if c.capacity == 0 {
+	if c.sets == 0 {
 		return
 	}
 	base := lineBase(pa)
-	if _, ok := c.lines[base]; !ok {
-		for len(c.lines) >= c.capacity {
-			victim := c.order[0]
-			c.order = c.order[1:]
-			delete(c.lines, victim)
-		}
-		c.order = append(c.order, base)
+	if i := c.find(base); i >= 0 {
+		c.data[i] = *data
+		c.ref[i] = true
+		return
 	}
-	cp := *data
-	c.lines[base] = &cp
+	set := c.setOf(base)
+	first := set * c.ways
+	w := -1
+	for v := 0; v < c.ways; v++ {
+		if !c.valid[first+v] {
+			w = first + v
+			break
+		}
+	}
+	if w < 0 {
+		// CLOCK: sweep the hand, clearing reference bits, until a way
+		// without a second chance comes up.
+		for {
+			h := first + c.hand[set]
+			c.hand[set] = (c.hand[set] + 1) % c.ways
+			if !c.ref[h] {
+				w = h
+				break
+			}
+			c.ref[h] = false
+		}
+		c.evictions++
+		c.live--
+	}
+	c.data[w] = *data
+	c.tags[w] = base
+	c.valid[w] = true
+	c.ref[w] = true
+	c.live++
 }
 
 // Invalidate drops any line overlapping [pa, pa+n).
 func (c *Cache) Invalidate(pa PhysAddr, n int) {
+	if c.sets == 0 || n <= 0 {
+		return
+	}
 	first := lineBase(pa)
 	last := lineBase(pa + PhysAddr(n) - 1)
 	for b := first; b <= last; b += LineSize {
-		if _, ok := c.lines[b]; ok {
-			delete(c.lines, b)
-			for i, o := range c.order {
-				if o == b {
-					c.order = append(c.order[:i], c.order[i+1:]...)
-					break
-				}
-			}
+		if i := c.find(b); i >= 0 {
+			c.valid[i] = false
+			c.ref[i] = false
+			c.live--
 		}
 		if b+LineSize < b { // overflow guard
 			break
@@ -79,9 +182,21 @@ func (c *Cache) Invalidate(pa PhysAddr, n int) {
 
 // Flush empties the cache (WBINVD).
 func (c *Cache) Flush() {
-	c.lines = make(map[PhysAddr]*[LineSize]byte)
-	c.order = nil
+	for i := range c.valid {
+		c.valid[i] = false
+		c.ref[i] = false
+	}
+	for s := range c.hand {
+		c.hand[s] = 0
+	}
+	c.live = 0
 }
+
+// Len reports the number of valid lines currently held.
+func (c *Cache) Len() int { return c.live }
+
+// Evictions reports how many lines CLOCK replacement has pushed out.
+func (c *Cache) Evictions() uint64 { return c.evictions }
 
 // Stats reports hit and miss counts since creation.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

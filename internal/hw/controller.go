@@ -45,6 +45,11 @@ type Controller struct {
 	readBytes, writeBytes uint64
 	decLines, encLines    uint64 // cache lines through the AES engine
 	dmaReads, dmaWrites   uint64
+
+	// rmw is the write path's read-modify-write staging buffer, reused
+	// across transactions under the same single-owner discipline as the
+	// counters above.
+	rmw []byte
 }
 
 // NewController wires a controller over memory with a cache of cacheLines
@@ -69,7 +74,8 @@ func NewController(mem *Memory, cacheLines int) *Controller {
 	reg.RegisterFunc("dma.writes", func() uint64 { return c.dmaWrites })
 	reg.RegisterFunc("cache.hits", func() uint64 { h, _ := c.Cache.Stats(); return h })
 	reg.RegisterFunc("cache.misses", func() uint64 { _, m := c.Cache.Stats(); return m })
-	reg.RegisterFunc("cache.lines", func() uint64 { return uint64(len(c.Cache.lines)) })
+	reg.RegisterFunc("cache.lines", func() uint64 { return uint64(c.Cache.Len()) })
+	reg.RegisterFunc("cache.evictions", func() uint64 { return c.Cache.Evictions() })
 	reg.RegisterFunc("engine.keys", func() uint64 { return uint64(c.Eng.Keys()) })
 	return c
 }
@@ -86,13 +92,17 @@ func (c *Controller) charge(n uint64) {
 // Cache hits return the cached plaintext regardless of the accessing ASID —
 // this deliberately reproduces the pre-SNP micro-architecture the paper's
 // inter-VM remapping attack exploits (Section 6.2, "a cache-hit may happen
-// in a high probability to leak privacy").
+// in a high probability to leak privacy"). The key slot is therefore
+// resolved lazily, on the first line actually fetched from DRAM: a fully
+// cache-resident read never consults the engine, exactly as the hardware
+// never would.
 func (c *Controller) Read(a Access, buf []byte) error {
 	if err := c.Mem.check(a.PA, len(buf)); err != nil {
 		return err
 	}
 	c.reads++
 	c.readBytes += uint64(len(buf))
+	var slot *PageCipher // resolved once, on the first decrypting miss
 	decrypted := uint64(0)
 	done := 0
 	for done < len(buf) {
@@ -130,11 +140,14 @@ func (c *Controller) Read(a Access, buf []byte) error {
 			return err
 		}
 		if a.Encrypted {
-			for b := 0; b+BlockSize <= span; b += BlockSize {
-				if err := c.Eng.DecryptBlock(a.ASID, base+PhysAddr(b), fill[b:b+BlockSize]); err != nil {
+			if slot == nil {
+				s, err := c.Eng.Slot(a.ASID)
+				if err != nil {
 					return err
 				}
+				slot = s
 			}
+			slot.DecryptLine(base, fill[:span])
 			c.decLines++
 			decrypted++
 		}
@@ -158,6 +171,17 @@ func (c *Controller) Write(a Access, data []byte) error {
 	if err := c.Mem.check(a.PA, len(data)); err != nil {
 		return err
 	}
+	// Resolve the key slot before touching any state: a write with no
+	// installed key must fault without mutating cached plaintext, or the
+	// cache and DRAM fall out of sync.
+	var slot *PageCipher
+	if a.Encrypted {
+		s, err := c.Eng.Slot(a.ASID)
+		if err != nil {
+			return err
+		}
+		slot = s
+	}
 	c.writes++
 	c.writeBytes += uint64(len(data))
 	// Update any cached plaintext lines in place (no write-allocate).
@@ -170,7 +194,7 @@ func (c *Controller) Write(a Access, data []byte) error {
 		if n > len(data)-done {
 			n = len(data) - done
 		}
-		if line, ok := c.Cache.lines[base]; ok {
+		if line, ok := c.Cache.Peek(pa); ok {
 			copy(line[off:off+n], data[done:done+n])
 		}
 		done += n
@@ -194,37 +218,42 @@ func (c *Controller) Write(a Access, data []byte) error {
 			c.Telem.VMForASID(uint32(a.ASID)), uint32(a.ASID),
 			lines*cycles.MemEncryptExtra, uint64(a.PA), uint64(len(data)))
 	}
-	// Read-modify-write every overlapped 16-byte block through the engine.
+	// Read-modify-write the whole overlapped block-aligned span through
+	// the engine in one DRAM round trip. Only partially-overwritten edge
+	// blocks need decrypting; interior blocks are fully replaced. The
+	// span is clamped to the installed memory, mirroring Read: trailing
+	// sub-block bytes at the very top of DRAM are stored raw.
+	end := a.PA + PhysAddr(len(data))
 	first := a.PA &^ (BlockSize - 1)
-	last := (a.PA + PhysAddr(len(data)) - 1) &^ (BlockSize - 1)
-	for b := first; b <= last; b += BlockSize {
-		var blk [BlockSize]byte
-		full := b >= a.PA && b+BlockSize <= a.PA+PhysAddr(len(data))
-		if !full {
-			if err := c.Mem.ReadRaw(b, blk[:]); err != nil {
-				return err
-			}
-			if err := c.Eng.DecryptBlock(a.ASID, b, blk[:]); err != nil {
-				return err
-			}
+	spanEnd := (end + BlockSize - 1) &^ (BlockSize - 1)
+	if uint64(spanEnd) > c.Mem.Size() {
+		spanEnd = PhysAddr(c.Mem.Size())
+	}
+	span := int(spanEnd - first)
+	if cap(c.rmw) < span {
+		c.rmw = make([]byte, span)
+	}
+	buf := c.rmw[:span]
+	if err := c.Mem.ReadRaw(first, buf); err != nil {
+		return err
+	}
+	// fullEnd bounds the whole blocks in the span; a clamped span may
+	// leave a raw sub-block tail past it. Only edge blocks that keep
+	// pre-existing bytes need decrypting; interior blocks are replaced
+	// wholesale.
+	fullEnd := first + PhysAddr(span-span%BlockSize)
+	if fullEnd > first {
+		if first < a.PA || first+BlockSize > end {
+			slot.DecryptBlock(first, buf[:BlockSize])
 		}
-		lo := 0
-		if b < a.PA {
-			lo = int(a.PA - b)
-		}
-		hi := BlockSize
-		if b+BlockSize > a.PA+PhysAddr(len(data)) {
-			hi = int(a.PA + PhysAddr(len(data)) - b)
-		}
-		copy(blk[lo:hi], data[int(b)+lo-int(a.PA):])
-		if err := c.Eng.EncryptBlock(a.ASID, b, blk[:]); err != nil {
-			return err
-		}
-		if err := c.Mem.WriteRaw(b, blk[:]); err != nil {
-			return err
+		if tail := fullEnd - BlockSize; tail > first && fullEnd > end {
+			o := int(tail - first)
+			slot.DecryptBlock(tail, buf[o:o+BlockSize])
 		}
 	}
-	return nil
+	copy(buf[a.PA-first:], data)
+	slot.EncryptLine(first, buf)
+	return c.Mem.WriteRaw(first, buf)
 }
 
 // ReadPage reads a full page.

@@ -53,6 +53,14 @@ func NewMemory(pages int) *Memory {
 	return &Memory{data: make([]byte, pages*PageSize)}
 }
 
+// NewMemoryBytes returns a memory of an arbitrary byte size, not
+// necessarily page- or block-aligned — the shape a trimmed top-of-memory
+// region (e.g. one stolen by firmware) presents to the controller, which
+// must clamp partial-block traffic at the very end of DRAM.
+func NewMemoryBytes(n int) *Memory {
+	return &Memory{data: make([]byte, n)}
+}
+
 // Pages reports the number of physical pages installed.
 func (m *Memory) Pages() int { return len(m.data) / PageSize }
 

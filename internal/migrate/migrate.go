@@ -46,6 +46,24 @@ type Source interface {
 	Cycles() uint64
 }
 
+// BatchSource is an optional Source extension: a source that can produce
+// several transport packets in one firmware command (bulk page crypto)
+// implements it, and the engine then batches packet production per round
+// chunk. Transmission stays serial — one frame per gfn, in order, with
+// the same sequence numbers — so the wire protocol and the receiver are
+// oblivious to batching.
+type BatchSource interface {
+	Source
+	// SendPages produces one packet per gfn, in order, advancing the
+	// session sequence exactly as len(gfns) SendPage calls would.
+	SendPages(gfns []uint64) ([]sev.Packet, error)
+}
+
+// batchPages is the engine's packet-production chunk size for batch
+// sources: big enough to amortise the fan-out, small enough that a live
+// guest still gets its quanta at a reasonable cadence.
+const batchPages = 32
+
 // Config tunes the engine.
 type Config struct {
 	// MaxRounds forces the final stop-and-copy round after this many
@@ -245,29 +263,60 @@ func (s *sender) finish() error {
 }
 
 // sendRound ships one round of pages, optionally interleaving guest
-// quanta so the source stays live.
+// quanta so the source stays live. Batch-capable sources produce packets
+// in chunks; frames still go out one per gfn, in order, so the receiver
+// and the wire protocol are unchanged. A batched live round snapshots
+// each chunk before its quanta run — any write that lands after the
+// snapshot is caught by the dirty log and re-sent, exactly as with
+// per-page production.
 func (s *sender) sendRound(round int, gfns []uint64, live bool) error {
-	for _, gfn := range gfns {
-		pkt, err := s.src.SendPage(gfn)
-		if err != nil {
-			return err
+	bs, _ := s.src.(BatchSource)
+	for rest := gfns; len(rest) > 0; {
+		n := len(rest)
+		if bs != nil && n > batchPages {
+			n = batchPages
 		}
-		if err := s.xfer(&Frame{Type: FramePage, Round: round, GFN: gfn, Pkt: pkt}); err != nil {
-			return err
+		chunk := rest[:n]
+		rest = rest[n:]
+		var pkts []sev.Packet
+		if bs != nil {
+			var err error
+			pkts, err = bs.SendPages(chunk)
+			if err != nil {
+				return err
+			}
+			if len(pkts) != len(chunk) {
+				return fmt.Errorf("migrate: batch source returned %d packets for %d pages", len(pkts), len(chunk))
+			}
 		}
-		s.stats.PagesSent++
-		if round > 0 {
-			s.stats.Redirtied++
-		}
-		if live && !s.stats.GuestDone {
-			for q := 0; q < s.cfg.QuantaPerPage; q++ {
-				done, err := s.src.RunQuantum()
+		for i, gfn := range chunk {
+			var pkt sev.Packet
+			if bs != nil {
+				pkt = pkts[i]
+			} else {
+				var err error
+				pkt, err = s.src.SendPage(gfn)
 				if err != nil {
-					return fmt.Errorf("migrate: source guest failed mid-migration: %w", err)
+					return err
 				}
-				if done {
-					s.stats.GuestDone = true
-					break
+			}
+			if err := s.xfer(&Frame{Type: FramePage, Round: round, GFN: gfn, Pkt: pkt}); err != nil {
+				return err
+			}
+			s.stats.PagesSent++
+			if round > 0 {
+				s.stats.Redirtied++
+			}
+			if live && !s.stats.GuestDone {
+				for q := 0; q < s.cfg.QuantaPerPage; q++ {
+					done, err := s.src.RunQuantum()
+					if err != nil {
+						return fmt.Errorf("migrate: source guest failed mid-migration: %w", err)
+					}
+					if done {
+						s.stats.GuestDone = true
+						break
+					}
 				}
 			}
 		}

@@ -18,6 +18,15 @@ type tlbKey struct {
 // the type 1 gate flushes nothing.
 type TLB struct {
 	entries map[tlbKey]Translation
+
+	// One-entry last-translation cache in front of the map: straight-line
+	// guest code re-translates the same page with the same access type
+	// for every load/store, so the common Lookup is a key compare, not a
+	// map probe (the micro-TLB in front of a real walker).
+	lastKey tlbKey
+	lastTr  Translation
+	lastOK  bool
+
 	// Flush and lookup statistics, used by the micro-benchmarks and
 	// served through the telemetry registry as reader funcs.
 	FullFlushes  uint64
@@ -36,9 +45,15 @@ func NewTLB() *TLB {
 
 // Lookup returns a cached translation for (asid, va, access).
 func (t *TLB) Lookup(asid hw.ASID, va uint64, access AccessType) (Translation, bool) {
-	tr, ok := t.entries[tlbKey{asid, PageBase(va), access}]
+	k := tlbKey{asid, PageBase(va), access}
+	if t.lastOK && t.lastKey == k {
+		t.Hits++
+		return t.lastTr, true
+	}
+	tr, ok := t.entries[k]
 	if ok {
 		t.Hits++
+		t.lastKey, t.lastTr, t.lastOK = k, tr, true
 	} else {
 		t.Misses++
 	}
@@ -47,12 +62,15 @@ func (t *TLB) Lookup(asid hw.ASID, va uint64, access AccessType) (Translation, b
 
 // Insert caches a translation.
 func (t *TLB) Insert(asid hw.ASID, va uint64, access AccessType, tr Translation) {
-	t.entries[tlbKey{asid, PageBase(va), access}] = tr
+	k := tlbKey{asid, PageBase(va), access}
+	t.entries[k] = tr
+	t.lastKey, t.lastTr, t.lastOK = k, tr, true
 }
 
 // FlushAll empties the TLB (MOV CR3 without PCID, or explicit full flush).
 func (t *TLB) FlushAll() {
 	t.entries = make(map[tlbKey]Translation)
+	t.lastOK = false
 	t.FullFlushes++
 	if t.Hub.Tracing() {
 		t.Hub.Emit(telemetry.KindTLBFlushFull, 0, 0, 0, 0, 0)
@@ -65,6 +83,9 @@ func (t *TLB) FlushEntry(asid hw.ASID, va uint64) {
 	base := PageBase(va)
 	for _, a := range []AccessType{Read, Write, Execute} {
 		delete(t.entries, tlbKey{asid, base, a})
+	}
+	if t.lastOK && t.lastKey.asid == asid && t.lastKey.vaPage == base {
+		t.lastOK = false
 	}
 	t.EntryFlushes++
 	if t.Hub.Tracing() {
@@ -79,6 +100,9 @@ func (t *TLB) FlushASID(asid hw.ASID) {
 		if k.asid == asid {
 			delete(t.entries, k)
 		}
+	}
+	if t.lastOK && t.lastKey.asid == asid {
+		t.lastOK = false
 	}
 }
 

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"fidelius/internal/telemetry"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 16} {
+		p := New(width)
+		const n = 1000
+		var visits [n]atomic.Int32
+		if err := p.ForEach(n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("width %d: unexpected error: %v", width, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("width %d: index %d visited %d times", width, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, width := range []int{1, 3} {
+		p := New(width)
+		err := p.ForEach(100, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 80:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("width %d: got %v, want lowest-index error %v", width, err, errLow)
+		}
+	}
+}
+
+func TestNilAndZeroPoolRunInline(t *testing.T) {
+	var p *Pool
+	sum := 0
+	if err := p.ForEach(10, func(i int) error { sum += i; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 {
+		t.Fatalf("nil pool sum = %d, want 45", sum)
+	}
+	var z Pool
+	if got := z.Width(); got != 1 {
+		t.Fatalf("zero pool width = %d, want 1", got)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	p := New(4)
+	if err := p.ForEach(0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatalf("n=0 must not invoke fn: %v", err)
+	}
+}
+
+func TestRegisterPublishesMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(2)
+	p.Register(reg)
+	if err := p.ForEach(5, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["pool.jobs"]; got != 5 {
+		t.Fatalf("pool.jobs = %d, want 5", got)
+	}
+	if got := s.Gauges["pool.workers"]; got != 2 {
+		t.Fatalf("pool.workers = %d, want 2", got)
+	}
+}

@@ -1,0 +1,202 @@
+package sev
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fidelius/internal/hw"
+)
+
+// twinContexts builds two firmware contexts with identical Kvek,
+// transport keys and lifecycle state, so the serial and bulk command
+// paths can be compared byte for byte on the same inputs.
+func twinContexts(t *testing.T, f *Firmware, state State) (*Context, *Context, Handle, Handle) {
+	t.Helper()
+	h1, err := f.LaunchStart(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := f.LaunchStart(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := f.ctxs[h1], f.ctxs[h2]
+	c2.kvek = c1.kvek
+	c2.cipher = c1.cipher
+	tk := TransportKeys{}
+	copy(tk.TEK[:], bytes.Repeat([]byte{0x5a}, 32))
+	copy(tk.TIK[:], bytes.Repeat([]byte{0xa5}, 32))
+	c1.transport, c2.transport = tk, tk
+	c1.state, c2.state = state, state
+	return c1, c2, h1, h2
+}
+
+func fillPages(t *testing.T, ctl *hw.Controller, pfns []hw.PFN, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var page [hw.PageSize]byte
+	for _, pfn := range pfns {
+		rng.Read(page[:])
+		if err := ctl.Mem.WriteRaw(pfn.Addr(), page[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func snapshotPages(t *testing.T, ctl *hw.Controller, pfns []hw.PFN) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(pfns))
+	for i, pfn := range pfns {
+		out[i] = make([]byte, hw.PageSize)
+		if err := ctl.Mem.ReadRaw(pfn.Addr(), out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestSendUpdatePagesMatchesSerial(t *testing.T) {
+	f, ctl := newFW(t, 16)
+	f.Pool().SetWidth(4)
+	c1, c2, h1, h2 := twinContexts(t, f, StateSending)
+	pfns := []hw.PFN{2, 3, 5, 7, 11}
+	fillPages(t, ctl, pfns, 77)
+
+	serial := make([]Packet, len(pfns))
+	for i, pfn := range pfns {
+		pkt, err := f.SendUpdate(h1, pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = pkt
+	}
+	bulk, err := f.SendUpdatePages(h2, pfns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bulk) != len(serial) {
+		t.Fatalf("bulk produced %d packets, want %d", len(bulk), len(serial))
+	}
+	for i := range serial {
+		if bulk[i].Seq != serial[i].Seq {
+			t.Fatalf("packet %d: seq %d != %d", i, bulk[i].Seq, serial[i].Seq)
+		}
+		if !bytes.Equal(bulk[i].Data, serial[i].Data) {
+			t.Fatalf("packet %d: ciphertext diverges from serial path", i)
+		}
+		if bulk[i].Tag != serial[i].Tag {
+			t.Fatalf("packet %d: tag diverges from serial path", i)
+		}
+	}
+	if c1.measure != c2.measure {
+		t.Fatal("bulk measurement chain diverges from serial path")
+	}
+	if c1.seq != c2.seq {
+		t.Fatalf("sequence counters diverge: %d != %d", c1.seq, c2.seq)
+	}
+}
+
+func TestReceiveUpdatePagesMatchesSerial(t *testing.T) {
+	f, ctl := newFW(t, 16)
+	f.Pool().SetWidth(4)
+	sc, _, sh, _ := twinContexts(t, f, StateSending)
+	pfns := []hw.PFN{4, 6, 9, 10}
+	fillPages(t, ctl, pfns, 13)
+	pkts, err := f.SendUpdatePages(sh, pfns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, r2, rh1, rh2 := twinContexts(t, f, StateReceiving)
+	r1.transport, r2.transport = sc.transport, sc.transport
+
+	// Serial application, snapshot, then scrub the target pages.
+	for i, pfn := range pfns {
+		if err := f.ReceiveUpdate(rh1, pfn, pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snapshotPages(t, ctl, pfns)
+	var zero [hw.PageSize]byte
+	for _, pfn := range pfns {
+		if err := ctl.Mem.WriteRaw(pfn.Addr(), zero[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bulk application must land identical DRAM bytes. The two contexts
+	// share a Kvek, so the re-encrypted pages are comparable.
+	if err := f.ReceiveUpdatePages(rh2, pfns, pkts); err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotPages(t, ctl, pfns)
+	for i := range pfns {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("page %d: bulk receive DRAM bytes diverge from serial path", i)
+		}
+	}
+	if r1.measure != r2.measure {
+		t.Fatal("bulk receive measurement diverges from serial path")
+	}
+	if r1.seq != r2.seq {
+		t.Fatalf("receive sequence counters diverge: %d != %d", r1.seq, r2.seq)
+	}
+
+	// Out-of-window packets are rejected before any page is committed.
+	if err := f.ReceiveUpdatePages(rh2, pfns, pkts); err == nil {
+		t.Fatal("replayed batch should fail the sequence check")
+	}
+}
+
+func TestLaunchUpdatePagesMatchesSerial(t *testing.T) {
+	f, ctl := newFW(t, 16)
+	f.Pool().SetWidth(4)
+	c1, c2, h1, h2 := twinContexts(t, f, StateLaunching)
+	pfns := []hw.PFN{1, 8, 12, 13, 14}
+	fillPages(t, ctl, pfns, 5)
+	plain := snapshotPages(t, ctl, pfns)
+
+	for _, pfn := range pfns {
+		if err := f.LaunchUpdateData(h1, pfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := snapshotPages(t, ctl, pfns)
+
+	// Restore the plaintext and run the bulk command on the twin.
+	for i, pfn := range pfns {
+		if err := ctl.Mem.WriteRaw(pfn.Addr(), plain[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.LaunchUpdatePages(h2, pfns); err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotPages(t, ctl, pfns)
+	for i := range pfns {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("page %d: bulk launch-update DRAM bytes diverge from serial path", i)
+		}
+	}
+	if c1.measure != c2.measure {
+		t.Fatal("bulk launch measurement diverges from serial path")
+	}
+}
+
+func TestBulkStateChecks(t *testing.T) {
+	f, _ := newFW(t, 8)
+	h, err := f.LaunchStart(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SendUpdatePages(h, []hw.PFN{1}); err == nil {
+		t.Fatal("send_update_pages in launching state should fail")
+	}
+	if err := f.ReceiveUpdatePages(h, []hw.PFN{1}, []Packet{{}}); err == nil {
+		t.Fatal("receive_update_pages in launching state should fail")
+	}
+	if err := f.LaunchUpdatePages(h, nil); err != nil {
+		t.Fatalf("empty launch_update_pages: %v", err)
+	}
+}

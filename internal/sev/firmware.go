@@ -8,6 +8,7 @@ import (
 
 	"fidelius/internal/cycles"
 	"fidelius/internal/hw"
+	"fidelius/internal/parallel"
 	"fidelius/internal/telemetry"
 )
 
@@ -117,18 +118,30 @@ type Firmware struct {
 	// no longer issue ACTIVATE/DEACTIVATE and abuse the handle-ASID
 	// binding.
 	Authorize func() bool
+
+	// pool bounds the bulk page-crypto fan-out of the *Pages commands.
+	pool *parallel.Pool
 }
 
 // NewFirmware returns an uninitialised firmware attached to the memory
 // controller.
 func NewFirmware(ctl *hw.Controller) *Firmware {
-	return &Firmware{
+	f := &Firmware{
 		ctl:    ctl,
 		ctxs:   make(map[Handle]*Context),
 		next:   1,
 		active: make(map[hw.ASID]Handle),
+		pool:   parallel.New(0),
 	}
+	if ctl != nil && ctl.Telem != nil {
+		f.pool.Register(ctl.Telem.Reg)
+	}
+	return f
 }
+
+// Pool exposes the bulk-crypto worker pool, so callers (and benchmarks)
+// can tune its width.
+func (f *Firmware) Pool() *parallel.Pool { return f.pool }
 
 func (f *Firmware) charge(n uint64) { f.ctl.Cycles.Charge(n) }
 
@@ -272,9 +285,7 @@ func (f *Firmware) LaunchUpdateData(h Handle, pfn hw.PFN) error {
 	}
 	tag := transportMAC([32]byte(c.kvek), uint64(pfn), page[:])
 	c.measure = measureChain(c.measure, tag)
-	for b := 0; b < hw.PageSize; b += hw.BlockSize {
-		c.cipher.EncryptBlock(pfn.Addr()+hw.PhysAddr(b), page[b:b+hw.BlockSize])
-	}
+	c.cipher.EncryptPage(pfn.Addr(), page[:])
 	f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
 	f.command("launch-update-data", h)
 	return f.ctl.FirmwareWrite(pfn.Addr(), page[:])
@@ -421,9 +432,7 @@ func (f *Firmware) SendUpdate(h Handle, pfn hw.PFN) (Packet, error) {
 	if err := f.ctl.Mem.ReadRaw(pfn.Addr(), page[:]); err != nil {
 		return Packet{}, err
 	}
-	for b := 0; b < hw.PageSize; b += hw.BlockSize {
-		c.cipher.DecryptBlock(pfn.Addr()+hw.PhysAddr(b), page[b:b+hw.BlockSize])
-	}
+	c.cipher.DecryptPage(pfn.Addr(), page[:])
 	seq := c.seq
 	c.seq++
 	pkt, err := sealPacket(c.transport, seq, page[:])
@@ -455,9 +464,7 @@ func (f *Firmware) SendUpdateBuf(h Handle, pa hw.PhysAddr, n int, seq uint64) (P
 	if err := f.ctl.Mem.ReadRaw(pa, buf); err != nil {
 		return Packet{}, err
 	}
-	for b := 0; b < n; b += hw.BlockSize {
-		c.cipher.DecryptBlock(pa+hw.PhysAddr(b), buf[b:b+hw.BlockSize])
-	}
+	c.cipher.DecryptLine(pa, buf)
 	pkt, err := sealPacket(c.transport, seq, buf)
 	if err != nil {
 		return Packet{}, err
@@ -507,9 +514,7 @@ func (f *Firmware) SendIO(h Handle, pa hw.PhysAddr, n int, seq uint64) ([]byte, 
 	if err := f.ctl.Mem.ReadRaw(pa, buf); err != nil {
 		return nil, err
 	}
-	for b := 0; b < n; b += hw.BlockSize {
-		c.cipher.DecryptBlock(pa+hw.PhysAddr(b), buf[b:b+hw.BlockSize])
-	}
+	c.cipher.DecryptLine(pa, buf)
 	if err := transportXOR(c.transport.TEK, seq, buf); err != nil {
 		return nil, err
 	}
@@ -536,9 +541,7 @@ func (f *Firmware) ReceiveIO(h Handle, pa hw.PhysAddr, data []byte, seq uint64) 
 	if err := transportXOR(c.transport.TEK, seq, plain); err != nil {
 		return err
 	}
-	for b := 0; b < len(plain); b += hw.BlockSize {
-		c.cipher.EncryptBlock(pa+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
-	}
+	c.cipher.EncryptLine(pa, plain)
 	f.charge(uint64(len(plain)) / hw.BlockSize * cycles.AESBlockSEV)
 	f.command("receive-io", h)
 	return f.ctl.FirmwareWrite(pa, plain)
@@ -660,9 +663,7 @@ func (f *Firmware) ReceiveUpdate(h Handle, pfn hw.PFN, pkt Packet) error {
 		return fmt.Errorf("sev: receive_update packet is %d bytes, want a page", len(plain))
 	}
 	c.measure = measureChain(c.measure, pkt.Tag)
-	for b := 0; b < hw.PageSize; b += hw.BlockSize {
-		c.cipher.EncryptBlock(pfn.Addr()+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
-	}
+	c.cipher.EncryptPage(pfn.Addr(), plain)
 	f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
 	f.command("receive-update", h)
 	return f.ctl.FirmwareWrite(pfn.Addr(), plain)
@@ -686,13 +687,138 @@ func (f *Firmware) ReceiveUpdateBuf(h Handle, pa hw.PhysAddr, pkt Packet) error 
 	if err != nil {
 		return err
 	}
-	for b := 0; b < len(plain); b += hw.BlockSize {
-		c.cipher.EncryptBlock(pa+hw.PhysAddr(b), plain[b:b+hw.BlockSize])
-	}
+	c.cipher.EncryptLine(pa, plain)
 	f.ctl.Cache.Invalidate(pa, len(plain))
 	f.charge(cycles.SEVCommand + uint64(len(plain))/hw.BlockSize*cycles.AESBlockSEV)
 	f.command("receive-update-buf", h)
 	return f.ctl.Mem.WriteRaw(pa, plain)
+}
+
+// LaunchUpdatePages is the bulk form of LaunchUpdateData: it encrypts and
+// measures a batch of distinct plaintext pages, fanning the per-page AES
+// and MAC work across the firmware's worker pool. The measurement chain is
+// folded and the pages committed to DRAM serially in slice order, so the
+// resulting measurement and memory image are byte-identical to calling
+// LaunchUpdateData once per pfn. On error nothing past the parallel phase
+// is committed.
+func (f *Firmware) LaunchUpdatePages(h Handle, pfns []hw.PFN) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateLaunching {
+		return fmt.Errorf("%w: launch_update in %v", ErrBadState, c.state)
+	}
+	pages := make([][hw.PageSize]byte, len(pfns))
+	tags := make([][32]byte, len(pfns))
+	if err := f.pool.ForEach(len(pfns), func(i int) error {
+		pfn := pfns[i]
+		if err := f.ctl.Mem.ReadRaw(pfn.Addr(), pages[i][:]); err != nil {
+			return err
+		}
+		tags[i] = transportMAC([32]byte(c.kvek), uint64(pfn), pages[i][:])
+		c.cipher.EncryptPage(pfn.Addr(), pages[i][:])
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i := range pfns {
+		c.measure = measureChain(c.measure, tags[i])
+		f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+		f.command("launch-update-data", h)
+		if err := f.ctl.FirmwareWrite(pfns[i].Addr(), pages[i][:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendUpdatePages is the bulk form of SendUpdate: it produces one
+// transport packet per pfn, with the per-page decrypt/seal work spread
+// across the worker pool. Sequence numbers are pre-assigned by slice index
+// and the measurement chain folded serially afterwards, so the packets and
+// the measurement are byte-identical to calling SendUpdate once per pfn in
+// the same order.
+func (f *Firmware) SendUpdatePages(h Handle, pfns []hw.PFN) ([]Packet, error) {
+	c, err := f.ctx(h)
+	if err != nil {
+		return nil, err
+	}
+	if c.state != StateSending {
+		return nil, fmt.Errorf("%w: send_update in %v", ErrBadState, c.state)
+	}
+	base := c.seq
+	pkts := make([]Packet, len(pfns))
+	if err := f.pool.ForEach(len(pfns), func(i int) error {
+		var page [hw.PageSize]byte
+		if err := f.ctl.Mem.ReadRaw(pfns[i].Addr(), page[:]); err != nil {
+			return err
+		}
+		c.cipher.DecryptPage(pfns[i].Addr(), page[:])
+		pkt, err := sealPacket(c.transport, base+uint64(i), page[:])
+		if err != nil {
+			return err
+		}
+		pkts[i] = pkt
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	c.seq = base + uint64(len(pfns))
+	for i := range pkts {
+		c.measure = measureChain(c.measure, pkts[i].Tag)
+		f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+		f.command("send-update", h)
+	}
+	return pkts, nil
+}
+
+// ReceiveUpdatePages is the bulk form of ReceiveUpdate: packet i lands at
+// pfns[i]. Tag verification, transport decryption and Kvek re-encryption
+// run across the worker pool; sequence numbers are checked against the
+// expected window by index, and the measurement fold plus DRAM commit run
+// serially in slice order — byte-identical to the one-page command, except
+// that a mid-batch failure commits nothing.
+func (f *Firmware) ReceiveUpdatePages(h Handle, pfns []hw.PFN, pkts []Packet) error {
+	c, err := f.ctx(h)
+	if err != nil {
+		return err
+	}
+	if c.state != StateReceiving {
+		return fmt.Errorf("%w: receive_update in %v", ErrBadState, c.state)
+	}
+	if len(pfns) != len(pkts) {
+		return fmt.Errorf("sev: receive_update_pages: %d pfns, %d packets", len(pfns), len(pkts))
+	}
+	base := c.seq
+	pages := make([][]byte, len(pfns))
+	if err := f.pool.ForEach(len(pfns), func(i int) error {
+		if pkts[i].Seq != base+uint64(i) {
+			return fmt.Errorf("%w: got %d, want %d", ErrBadSequence, pkts[i].Seq, base+uint64(i))
+		}
+		plain, err := openPacket(c.transport, pkts[i])
+		if err != nil {
+			return err
+		}
+		if len(plain) != hw.PageSize {
+			return fmt.Errorf("sev: receive_update packet is %d bytes, want a page", len(plain))
+		}
+		c.cipher.EncryptPage(pfns[i].Addr(), plain)
+		pages[i] = plain
+		return nil
+	}); err != nil {
+		return err
+	}
+	c.seq = base + uint64(len(pfns))
+	for i := range pfns {
+		c.measure = measureChain(c.measure, pkts[i].Tag)
+		f.charge(cycles.SEVCommand + cycles.PageCopy + hw.PageSize/hw.BlockSize*cycles.AESBlockSEV)
+		f.command("receive-update", h)
+		if err := f.ctl.FirmwareWrite(pfns[i].Addr(), pages[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReceiveFinish verifies the accumulated measurement against the
