@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke vet fmt check fuzz migrate trace examples tables attacks xsa demo clean
+.PHONY: all build test race bench benchsmoke vet fmt check fuzz stress migrate trace examples tables attacks xsa demo clean
 
 all: build test
 
-check: build vet test race fuzz benchsmoke
+check: build vet test race stress fuzz benchsmoke
 	$(GO) run ./examples/migration
 
 build:
@@ -24,6 +24,17 @@ fuzz:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzUnmarshalMigrationBundle -fuzztime 5s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzUnmarshalGEKBundle -fuzztime 5s
 
+# Concurrency stress: the parallel-scheduling and shared-memory-path
+# suites, repeated under the race detector at several core counts so
+# both the contended and the fully serialized interleavings get
+# exercised.
+# (-short skips the single-domain parity guard, which is a wall-clock
+# benchmark, not a race hunt; plain `make race` still runs it once.)
+stress:
+	GOMAXPROCS=1 $(GO) test -race -short -count=5 -run 'Concurrent|Parallel' ./...
+	GOMAXPROCS=2 $(GO) test -race -short -count=5 -run 'Concurrent|Parallel' ./...
+	GOMAXPROCS=4 $(GO) test -race -short -count=5 -run 'Concurrent|Parallel' ./...
+
 migrate:
 	$(GO) run ./cmd/fidelius-migrate
 	$(GO) run ./cmd/fidelius-migrate -faulty
@@ -31,7 +42,7 @@ migrate:
 
 # Full benchmark run, captured as a JSON artifact for regression diffing.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_4.json
+	$(GO) test -run '^$$' -bench=. -benchmem . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_5.json
 
 # One-iteration pass over every benchmark: catches bit-rot in the
 # benchmark harness without paying for a full measurement run.

@@ -240,6 +240,15 @@ func (p *Platform) Run(d *Domain) error { return p.X.Run(d) }
 // functions return, returning per-domain errors.
 func (p *Platform) Schedule(doms []*Domain) map[xen.DomID]error { return p.X.Schedule(doms) }
 
+// ScheduleParallel runs several started VMs concurrently, one runner per
+// VM bounded by width scheduling slots (width <= 0 picks GOMAXPROCS).
+// Guest code overlaps in time; all hypervisor work serializes under the
+// big hypervisor lock. Use Schedule when deterministic interleaving
+// matters (the attack demos and golden traces do).
+func (p *Platform) ScheduleParallel(doms []*Domain, width int) map[xen.DomID]error {
+	return p.X.ScheduleParallel(doms, width)
+}
+
 // Shutdown terminates a VM with full key and metadata scrubbing.
 func (p *Platform) Shutdown(d *Domain) error {
 	if p.F != nil {

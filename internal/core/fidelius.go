@@ -201,7 +201,7 @@ func Enable(x *xen.Xen) (*Fidelius, error) {
 	if f.savedMovCR3PTE, err = f.unmapStub(x.M.Stubs.MovCR3Pg); err != nil {
 		return nil, err
 	}
-	x.M.CPU.TLB.FlushAll()
+	x.M.TLBs.FlushAll()
 
 	// 5. The SEV metadata becomes self-maintained: firmware commands now
 	// require Fidelius's trusted context (Section 4.2.3).
@@ -269,7 +269,7 @@ func (f *Fidelius) protectRO(pfn hw.PFN) error {
 	if err := f.M.HostPT.SetLeaf(uint64(pfn.Addr()), leaf.WithoutFlags(mmu.FlagW)); err != nil {
 		return err
 	}
-	f.M.CPU.TLB.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
+	f.M.TLBs.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
 	return nil
 }
 
@@ -285,7 +285,7 @@ func (f *Fidelius) unprotect(pfn hw.PFN) error {
 	if err := f.M.HostPT.SetLeaf(uint64(pfn.Addr()), leaf.WithFlags(mmu.FlagW)); err != nil {
 		return err
 	}
-	f.M.CPU.TLB.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
+	f.M.TLBs.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
 	return nil
 }
 
@@ -295,7 +295,7 @@ func (f *Fidelius) unmapFromHypervisor(pfn hw.PFN) error {
 	if err := f.M.HostPT.SetLeaf(uint64(pfn.Addr()), 0); err != nil {
 		return err
 	}
-	f.M.CPU.TLB.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
+	f.M.TLBs.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
 	return nil
 }
 
@@ -304,7 +304,7 @@ func (f *Fidelius) remapToHypervisor(pfn hw.PFN) error {
 	if err := f.M.HostPT.SetLeaf(uint64(pfn.Addr()), mmu.MakePTE(pfn, mmu.FlagP|mmu.FlagW|mmu.FlagNX)); err != nil {
 		return err
 	}
-	f.M.CPU.TLB.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
+	f.M.TLBs.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
 	return nil
 }
 
@@ -316,7 +316,7 @@ func (f *Fidelius) unmapStub(pageVA uint64) (mmu.PTE, error) {
 	if err := f.M.HostPT.SetLeaf(pageVA, 0); err != nil {
 		return 0, err
 	}
-	f.M.CPU.TLB.FlushEntry(hw.HostASID, pageVA)
+	f.M.TLBs.FlushEntry(hw.HostASID, pageVA)
 	return leaf, nil
 }
 
@@ -426,7 +426,7 @@ func (f *Fidelius) gate3(pageVA uint64, saved mmu.PTE, exec func() error) error 
 		if uerr := f.quiet(func() error { return f.M.HostPT.SetLeaf(pageVA, 0) }); uerr != nil && err == nil {
 			err = uerr
 		}
-		c.TLB.FlushEntry(hw.HostASID, pageVA)
+		f.M.TLBs.FlushEntry(hw.HostASID, pageVA)
 		return err
 	})
 }
@@ -554,7 +554,7 @@ func (f *Fidelius) pageFault(c *cpu.CPU, pf *mmu.PageFault) bool {
 		}); err != nil {
 			return false
 		}
-		f.M.CPU.TLB.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
+		f.M.TLBs.FlushEntry(hw.HostASID, uint64(pfn.Addr()))
 		f.pendingReprotect = append(f.pendingReprotect, pfn)
 		return true
 	}

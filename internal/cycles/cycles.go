@@ -11,6 +11,11 @@
 // in exactly the way the paper argues they are.
 package cycles
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Cost constants, in CPU cycles.
 //
 // Paper-anchored values (Section 7.2):
@@ -145,24 +150,90 @@ const (
 )
 
 // Counter accumulates simulated cycles. The zero value is ready to use.
-// Counter is not safe for concurrent use; each simulated CPU owns one.
+// The counter is a single atomic word, so each simulated CPU can charge
+// its own counter from its own goroutine; cross-counter aggregation is
+// the Clock's job.
 type Counter struct {
-	total uint64
+	total atomic.Uint64
 }
 
 // Charge adds n cycles to the counter.
-func (c *Counter) Charge(n uint64) { c.total += n }
+func (c *Counter) Charge(n uint64) { c.total.Add(n) }
 
 // Total reports the cycles accumulated so far.
-func (c *Counter) Total() uint64 { return c.total }
+func (c *Counter) Total() uint64 { return c.total.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.total = 0 }
+func (c *Counter) Reset() { c.total.Store(0) }
 
 // Sub returns the cycles elapsed since an earlier reading.
-func (c *Counter) Sub(earlier uint64) uint64 { return c.total - earlier }
+func (c *Counter) Sub(earlier uint64) uint64 { return c.total.Load() - earlier }
 
 // SetTotal rewinds the counter to an earlier reading. Trusted-context
 // mechanics whose cost is already represented by a modelled constant
 // (the gate costs) use it to avoid double charging.
-func (c *Counter) SetTotal(v uint64) { c.total = v }
+func (c *Counter) SetTotal(v uint64) { c.total.Store(v) }
+
+// Clock is the machine's global cycle clock: a base counter (the boot
+// CPU's, charged by all single-owner hypervisor work) plus any number of
+// attached per-vCPU counters, each charged only by its owning goroutine.
+// Total sums them all, so telemetry timestamps and the guest-visible TSC
+// advance with work done on every core, while the hot path still charges
+// a private uncontended counter.
+type Clock struct {
+	base *Counter
+
+	mu    sync.RWMutex
+	parts []*Counter
+}
+
+// NewClock returns a clock over the given base counter.
+func NewClock(base *Counter) *Clock {
+	return &Clock{base: base}
+}
+
+// Base returns the base counter.
+func (k *Clock) Base() *Counter { return k.base }
+
+// Attach creates a fresh per-vCPU counter and includes it in Total until
+// it is folded back with Fold.
+func (k *Clock) Attach() *Counter {
+	c := &Counter{}
+	k.mu.Lock()
+	k.parts = append(k.parts, c)
+	k.mu.Unlock()
+	return c
+}
+
+// Fold detaches a counter obtained from Attach and merges its cycles into
+// the base counter, keeping Total unchanged. The counter must not be
+// charged after folding. The base charge happens under the write lock so
+// that a concurrent Total never observes the in-between state (part gone,
+// base not yet credited) — the clock is monotonic across folds.
+func (k *Clock) Fold(c *Counter) {
+	if c == nil {
+		return
+	}
+	k.mu.Lock()
+	for i, p := range k.parts {
+		if p == c {
+			k.parts = append(k.parts[:i], k.parts[i+1:]...)
+			break
+		}
+	}
+	k.base.Charge(c.Total())
+	k.mu.Unlock()
+}
+
+// Total reports the global clock: base plus every attached counter. The
+// base is read under the same lock that Fold holds, so a fold is atomic
+// from this reader's point of view.
+func (k *Clock) Total() uint64 {
+	k.mu.RLock()
+	t := k.base.Total()
+	for _, p := range k.parts {
+		t += p.Total()
+	}
+	k.mu.RUnlock()
+	return t
+}

@@ -1,5 +1,10 @@
 package hw
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // LineSize is the cache line size in bytes.
 const LineSize = 64
 
@@ -22,21 +27,30 @@ const DefaultWays = 8
 // all touch only that set's ways. Line storage is one flat preallocated
 // array, so filling a line never allocates and Invalidate is O(ways)
 // instead of the old map+FIFO-slice's O(capacity) order scan.
+//
+// Locking is sharded per set (the lock order is the set index, and no
+// operation ever holds two set locks at once), so concurrent vCPUs racing
+// on different sets never contend. Statistics are atomics. ReadAt, WriteAt,
+// Fill, Invalidate and Flush are safe for concurrent use; Lookup and Peek
+// return a pointer into line storage and are for single-threaded callers
+// (tests and the attack demos) only.
 type Cache struct {
 	sets int // power of two; 0 disables the cache
 	ways int
 
-	// Flat per-way state, indexed set*ways+way.
+	// Flat per-way state, indexed set*ways+way, guarded by the set's lock.
 	data  [][LineSize]byte
 	tags  []PhysAddr
 	valid []bool
 	ref   []bool
 	hand  []int // CLOCK hand, one per set
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	live      int
+	locks []sync.Mutex // one per set
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	live      atomic.Int64
 }
 
 // NewCache returns a cache holding at least capacity lines (rounded up to
@@ -73,6 +87,7 @@ func NewCacheWays(capacity, ways int) *Cache {
 		valid: make([]bool, n),
 		ref:   make([]bool, n),
 		hand:  make([]int, sets),
+		locks: make([]sync.Mutex, sets),
 	}
 }
 
@@ -83,12 +98,10 @@ func (c *Cache) setOf(base PhysAddr) int {
 	return int(uint64(base)/LineSize) & (c.sets - 1)
 }
 
-// find returns the flat way index holding base, or -1.
-func (c *Cache) find(base PhysAddr) int {
-	if c.sets == 0 {
-		return -1
-	}
-	i := c.setOf(base) * c.ways
+// findInSet returns the flat way index holding base within set, or -1.
+// The caller must hold the set's lock.
+func (c *Cache) findInSet(set int, base PhysAddr) int {
+	i := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		if c.valid[i+w] && c.tags[i+w] == base {
 			return i + w
@@ -97,22 +110,86 @@ func (c *Cache) find(base PhysAddr) int {
 	return -1
 }
 
+// ReadAt copies cached plaintext for pa into dst, which must not cross the
+// line boundary. It reports whether the line was present, counting a hit
+// or a miss. This is the memory controller's load path: the bytes are
+// copied out under the set lock, so concurrent fills never tear a read.
+func (c *Cache) ReadAt(pa PhysAddr, dst []byte) bool {
+	if c.sets == 0 {
+		c.misses.Add(1)
+		return false
+	}
+	base := lineBase(pa)
+	set := c.setOf(base)
+	c.locks[set].Lock()
+	i := c.findInSet(set, base)
+	if i < 0 {
+		c.locks[set].Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	c.ref[i] = true
+	off := int(pa - base)
+	copy(dst, c.data[i][off:])
+	c.locks[set].Unlock()
+	c.hits.Add(1)
+	return true
+}
+
+// WriteAt updates cached plaintext for pa in place if the line is present
+// (no write-allocate), without touching hit/miss statistics or replacement
+// state — the write-buffer's view, mirroring Peek. data must not cross the
+// line boundary.
+func (c *Cache) WriteAt(pa PhysAddr, data []byte) bool {
+	if c.sets == 0 {
+		return false
+	}
+	base := lineBase(pa)
+	set := c.setOf(base)
+	c.locks[set].Lock()
+	i := c.findInSet(set, base)
+	if i < 0 {
+		c.locks[set].Unlock()
+		return false
+	}
+	off := int(pa - base)
+	copy(c.data[i][off:], data)
+	c.locks[set].Unlock()
+	return true
+}
+
 // Lookup returns the cached plaintext line containing pa, if present.
+// The returned pointer aliases line storage; single-threaded callers only.
 func (c *Cache) Lookup(pa PhysAddr) (*[LineSize]byte, bool) {
-	if i := c.find(lineBase(pa)); i >= 0 {
-		c.hits++
+	if c.sets == 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	base := lineBase(pa)
+	set := c.setOf(base)
+	c.locks[set].Lock()
+	defer c.locks[set].Unlock()
+	if i := c.findInSet(set, base); i >= 0 {
+		c.hits.Add(1)
 		c.ref[i] = true
 		return &c.data[i], true
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil, false
 }
 
 // Peek returns the cached line containing pa without touching hit/miss
-// statistics or replacement state — the write-buffer's view, used to
-// update cached plaintext in place on stores.
+// statistics or replacement state. The returned pointer aliases line
+// storage; single-threaded callers only.
 func (c *Cache) Peek(pa PhysAddr) (*[LineSize]byte, bool) {
-	if i := c.find(lineBase(pa)); i >= 0 {
+	if c.sets == 0 {
+		return nil, false
+	}
+	base := lineBase(pa)
+	set := c.setOf(base)
+	c.locks[set].Lock()
+	defer c.locks[set].Unlock()
+	if i := c.findInSet(set, base); i >= 0 {
 		return &c.data[i], true
 	}
 	return nil, false
@@ -125,12 +202,14 @@ func (c *Cache) Fill(pa PhysAddr, data *[LineSize]byte) {
 		return
 	}
 	base := lineBase(pa)
-	if i := c.find(base); i >= 0 {
+	set := c.setOf(base)
+	c.locks[set].Lock()
+	defer c.locks[set].Unlock()
+	if i := c.findInSet(set, base); i >= 0 {
 		c.data[i] = *data
 		c.ref[i] = true
 		return
 	}
-	set := c.setOf(base)
 	first := set * c.ways
 	w := -1
 	for v := 0; v < c.ways; v++ {
@@ -151,17 +230,18 @@ func (c *Cache) Fill(pa PhysAddr, data *[LineSize]byte) {
 			}
 			c.ref[h] = false
 		}
-		c.evictions++
-		c.live--
+		c.evictions.Add(1)
+		c.live.Add(-1)
 	}
 	c.data[w] = *data
 	c.tags[w] = base
 	c.valid[w] = true
 	c.ref[w] = true
-	c.live++
+	c.live.Add(1)
 }
 
-// Invalidate drops any line overlapping [pa, pa+n).
+// Invalidate drops any line overlapping [pa, pa+n), taking one set lock at
+// a time.
 func (c *Cache) Invalidate(pa PhysAddr, n int) {
 	if c.sets == 0 || n <= 0 {
 		return
@@ -169,34 +249,43 @@ func (c *Cache) Invalidate(pa PhysAddr, n int) {
 	first := lineBase(pa)
 	last := lineBase(pa + PhysAddr(n) - 1)
 	for b := first; b <= last; b += LineSize {
-		if i := c.find(b); i >= 0 {
+		set := c.setOf(b)
+		c.locks[set].Lock()
+		if i := c.findInSet(set, b); i >= 0 {
 			c.valid[i] = false
 			c.ref[i] = false
-			c.live--
+			c.live.Add(-1)
 		}
+		c.locks[set].Unlock()
 		if b+LineSize < b { // overflow guard
 			break
 		}
 	}
 }
 
-// Flush empties the cache (WBINVD).
+// Flush empties the cache (WBINVD), sweeping the sets in ascending order
+// one lock at a time.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.ref[i] = false
-	}
-	for s := range c.hand {
+	for s := 0; s < c.sets; s++ {
+		c.locks[s].Lock()
+		first := s * c.ways
+		for w := 0; w < c.ways; w++ {
+			if c.valid[first+w] {
+				c.valid[first+w] = false
+				c.live.Add(-1)
+			}
+			c.ref[first+w] = false
+		}
 		c.hand[s] = 0
+		c.locks[s].Unlock()
 	}
-	c.live = 0
 }
 
 // Len reports the number of valid lines currently held.
-func (c *Cache) Len() int { return c.live }
+func (c *Cache) Len() int { return int(c.live.Load()) }
 
 // Evictions reports how many lines CLOCK replacement has pushed out.
-func (c *Cache) Evictions() uint64 { return c.evictions }
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }
 
 // Stats reports hit and miss counts since creation.
-func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits.Load(), c.misses.Load() }

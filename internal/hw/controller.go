@@ -1,6 +1,8 @@
 package hw
 
 import (
+	"sync/atomic"
+
 	"fidelius/internal/cycles"
 	"fidelius/internal/telemetry"
 )
@@ -14,19 +16,42 @@ type Access struct {
 	ASID      ASID
 }
 
+// ctlStats is the controller's transaction accounting, shared between the
+// root controller and every per-vCPU view. Atomics, because concurrent
+// domain runners bump them from their own goroutines; they are served
+// through Telem.Reg as reader funcs — one accounting mechanism, no
+// duplicate registrations per view.
+type ctlStats struct {
+	reads, writes         atomic.Uint64
+	readBytes, writeBytes atomic.Uint64
+	decLines, encLines    atomic.Uint64 // cache lines through the AES engine
+	dmaReads, dmaWrites   atomic.Uint64
+}
+
 // Controller is the memory controller: every CPU-originated access goes
 // through it, consulting the cache and the AES engine. DMA bypasses it via
 // the DMA type.
+//
+// A Controller value is a *port* on the memory system: Mem, Eng, Cache,
+// Integ, Telem and the transaction stats are shared machine state (each
+// thread-safe on its own), while Cycles and the rmw staging buffer are
+// private to the port's owning goroutine. View clones a port for another
+// vCPU; the serial platform just uses the root controller everywhere.
 type Controller struct {
 	Mem    *Memory
 	Eng    *Engine
 	Cache  *Cache
 	Cycles *cycles.Counter
 
+	// Clock is the machine's global cycle clock: the root controller's
+	// Cycles plus the private counter of every live view. Telemetry
+	// timestamps and the guest-visible TSC read it via Now.
+	Clock *cycles.Clock
+
 	// Telem is this machine's telemetry hub: the controller owns it
 	// because every layer above (MMU, CPU, SEV firmware, hypervisor)
 	// already holds a controller reference, and the hub's clock is the
-	// controller's cycle counter. Hub methods are nil-safe, so a
+	// controller's cycle clock. Hub methods are nil-safe, so a
 	// hand-built Controller{} without a hub still works.
 	Telem *telemetry.Hub
 
@@ -36,19 +61,11 @@ type Controller struct {
 	// that bypass the controller (DMA, rowhammer) break verification.
 	Integ *Integrity
 
-	// Transaction accounting. Plain fields, same single-owner discipline
-	// as Cycles: the vCPU handoff is synchronous, so exactly one
-	// goroutine drives the controller at a time and the channel edges
-	// order the increments. Served through Telem.Reg as reader funcs —
-	// one accounting mechanism, no duplicate atomics on the hot path.
-	reads, writes         uint64
-	readBytes, writeBytes uint64
-	decLines, encLines    uint64 // cache lines through the AES engine
-	dmaReads, dmaWrites   uint64
+	stats *ctlStats
 
 	// rmw is the write path's read-modify-write staging buffer, reused
-	// across transactions under the same single-owner discipline as the
-	// counters above.
+	// across transactions. It is the one piece of genuinely per-owner
+	// scratch state, which is why views get their own.
 	rmw []byte
 }
 
@@ -60,18 +77,21 @@ func NewController(mem *Memory, cacheLines int) *Controller {
 		Eng:    NewEngine(),
 		Cache:  NewCache(cacheLines),
 		Cycles: &cycles.Counter{},
+		stats:  &ctlStats{},
 	}
-	c.Telem = telemetry.New(c.Cycles.Total)
+	c.Clock = cycles.NewClock(c.Cycles)
+	c.Telem = telemetry.New(c.Clock.Total)
 	reg := c.Telem.Reg
-	reg.RegisterFunc("cycles.total", c.Cycles.Total)
-	reg.RegisterFunc("mem.reads", func() uint64 { return c.reads })
-	reg.RegisterFunc("mem.writes", func() uint64 { return c.writes })
-	reg.RegisterFunc("mem.read_bytes", func() uint64 { return c.readBytes })
-	reg.RegisterFunc("mem.write_bytes", func() uint64 { return c.writeBytes })
-	reg.RegisterFunc("mem.dec_lines", func() uint64 { return c.decLines })
-	reg.RegisterFunc("mem.enc_lines", func() uint64 { return c.encLines })
-	reg.RegisterFunc("dma.reads", func() uint64 { return c.dmaReads })
-	reg.RegisterFunc("dma.writes", func() uint64 { return c.dmaWrites })
+	s := c.stats
+	reg.RegisterFunc("cycles.total", c.Clock.Total)
+	reg.RegisterFunc("mem.reads", s.reads.Load)
+	reg.RegisterFunc("mem.writes", s.writes.Load)
+	reg.RegisterFunc("mem.read_bytes", s.readBytes.Load)
+	reg.RegisterFunc("mem.write_bytes", s.writeBytes.Load)
+	reg.RegisterFunc("mem.dec_lines", s.decLines.Load)
+	reg.RegisterFunc("mem.enc_lines", s.encLines.Load)
+	reg.RegisterFunc("dma.reads", s.dmaReads.Load)
+	reg.RegisterFunc("dma.writes", s.dmaWrites.Load)
 	reg.RegisterFunc("cache.hits", func() uint64 { h, _ := c.Cache.Stats(); return h })
 	reg.RegisterFunc("cache.misses", func() uint64 { _, m := c.Cache.Stats(); return m })
 	reg.RegisterFunc("cache.lines", func() uint64 { return uint64(c.Cache.Len()) })
@@ -80,10 +100,52 @@ func NewController(mem *Memory, cacheLines int) *Controller {
 	return c
 }
 
+// View returns a per-vCPU port on the same memory system: shared DRAM,
+// engine, cache, integrity tree, telemetry and transaction stats, but a
+// private cycle counter (attached to the machine clock) and a private rmw
+// staging buffer. Release the view when its owner goes offline.
+func (c *Controller) View() *Controller {
+	v := *c
+	if c.Clock != nil {
+		v.Cycles = c.Clock.Attach()
+	} else {
+		v.Cycles = &cycles.Counter{}
+	}
+	v.rmw = nil
+	return &v
+}
+
+// Release folds a view's private cycle counter back into the machine
+// clock. The view must not be used afterwards.
+func (c *Controller) Release() {
+	if c.Clock != nil {
+		c.Clock.Fold(c.Cycles)
+	}
+}
+
+// Now reads the machine's global clock — the cycles of every port, not
+// just this one. This is what a guest TSC read observes.
+func (c *Controller) Now() uint64 {
+	if c.Clock != nil {
+		return c.Clock.Total()
+	}
+	if c.Cycles != nil {
+		return c.Cycles.Total()
+	}
+	return 0
+}
+
 func (c *Controller) charge(n uint64) {
 	if c.Cycles != nil {
 		c.Cycles.Charge(n)
 	}
+}
+
+// touchedLines counts the cache lines overlapped by [pa, pa+n); n must be
+// positive (an empty transfer touches no lines and must not reach here, or
+// the end-address arithmetic underflows).
+func touchedLines(pa PhysAddr, n int) uint64 {
+	return uint64((pa+PhysAddr(n)-1)/LineSize - pa/LineSize + 1)
 }
 
 // Read performs a CPU read. Plaintext is returned for encrypted pages only
@@ -100,8 +162,13 @@ func (c *Controller) Read(a Access, buf []byte) error {
 	if err := c.Mem.check(a.PA, len(buf)); err != nil {
 		return err
 	}
-	c.reads++
-	c.readBytes += uint64(len(buf))
+	if len(buf) == 0 {
+		return nil
+	}
+	if s := c.stats; s != nil {
+		s.reads.Add(1)
+		s.readBytes.Add(uint64(len(buf)))
+	}
 	var slot *PageCipher // resolved once, on the first decrypting miss
 	decrypted := uint64(0)
 	done := 0
@@ -113,10 +180,8 @@ func (c *Controller) Read(a Access, buf []byte) error {
 		if n > len(buf)-done {
 			n = len(buf) - done
 		}
-		line, hit := c.Cache.Lookup(pa)
-		if hit {
+		if c.Cache.ReadAt(pa, buf[done:done+n]) {
 			c.charge(cycles.CacheAccess)
-			copy(buf[done:done+n], line[off:off+n])
 			done += n
 			continue
 		}
@@ -148,7 +213,9 @@ func (c *Controller) Read(a Access, buf []byte) error {
 				slot = s
 			}
 			slot.DecryptLine(base, fill[:span])
-			c.decLines++
+			if s := c.stats; s != nil {
+				s.decLines.Add(1)
+			}
 			decrypted++
 		}
 		if span == LineSize {
@@ -171,6 +238,12 @@ func (c *Controller) Write(a Access, data []byte) error {
 	if err := c.Mem.check(a.PA, len(data)); err != nil {
 		return err
 	}
+	if len(data) == 0 {
+		// An empty store touches no lines; falling through would
+		// underflow the touched-line count below and charge ~2^64
+		// cycles.
+		return nil
+	}
 	// Resolve the key slot before touching any state: a write with no
 	// installed key must fault without mutating cached plaintext, or the
 	// cache and DRAM fall out of sync.
@@ -182,8 +255,10 @@ func (c *Controller) Write(a Access, data []byte) error {
 		}
 		slot = s
 	}
-	c.writes++
-	c.writeBytes += uint64(len(data))
+	if s := c.stats; s != nil {
+		s.writes.Add(1)
+		s.writeBytes.Add(uint64(len(data)))
+	}
 	// Update any cached plaintext lines in place (no write-allocate).
 	done := 0
 	for done < len(data) {
@@ -194,25 +269,22 @@ func (c *Controller) Write(a Access, data []byte) error {
 		if n > len(data)-done {
 			n = len(data) - done
 		}
-		if line, ok := c.Cache.Peek(pa); ok {
-			copy(line[off:off+n], data[done:done+n])
-		}
+		c.Cache.WriteAt(pa, data[done:done+n])
 		done += n
 	}
 	// Charge per cache line touched, as the write buffer drains them.
-	lines := uint64((a.PA+PhysAddr(len(data))-1)/LineSize - a.PA/LineSize + 1)
+	lines := touchedLines(a.PA, len(data))
 	c.charge(lines * cycles.MemAccess)
-	defer func() {
-		if c.Integ != nil {
-			c.charge(lines * cycles.IntegrityCheck)
-			_ = c.Integ.Update(a.PA, len(data))
-		}
-	}()
 	if !a.Encrypted {
-		return c.Mem.WriteRaw(a.PA, data)
+		if err := c.Mem.WriteRaw(a.PA, data); err != nil {
+			return err
+		}
+		return c.integUpdate(a.PA, len(data), lines)
 	}
 	c.charge(lines * cycles.MemEncryptExtra)
-	c.encLines += lines
+	if s := c.stats; s != nil {
+		s.encLines.Add(lines)
+	}
 	if c.Telem.Tracing() {
 		c.Telem.Emit(telemetry.KindMemEncrypt,
 			c.Telem.VMForASID(uint32(a.ASID)), uint32(a.ASID),
@@ -253,7 +325,22 @@ func (c *Controller) Write(a Access, data []byte) error {
 	}
 	copy(buf[a.PA-first:], data)
 	slot.EncryptLine(first, buf)
-	return c.Mem.WriteRaw(first, buf)
+	if err := c.Mem.WriteRaw(first, buf); err != nil {
+		return err
+	}
+	return c.integUpdate(a.PA, len(data), lines)
+}
+
+// integUpdate re-hashes the protected lines of a store that reached DRAM.
+// It runs only on the success path: if the RMW round trip failed, the
+// store never landed, and re-hashing would fold whatever DRAM actually
+// holds — including a physical tamper — into the trusted tree.
+func (c *Controller) integUpdate(pa PhysAddr, n int, lines uint64) error {
+	if c.Integ == nil {
+		return nil
+	}
+	c.charge(lines * cycles.IntegrityCheck)
+	return c.Integ.Update(pa, n)
 }
 
 // ReadPage reads a full page.
@@ -290,18 +377,30 @@ type DMA struct {
 // DMA returns the DMA port of the controller.
 func (c *Controller) DMA() *DMA { return &DMA{ctl: c} }
 
-// Read copies raw DRAM bytes (ciphertext for encrypted pages).
+// Read copies raw DRAM bytes (ciphertext for encrypted pages), charging
+// per overlapped cache line like the CPU path — a page-sized DMA is 64
+// line beats on the bus, not one.
 func (d *DMA) Read(pa PhysAddr, buf []byte) error {
-	d.ctl.charge(cycles.MemAccess)
-	d.ctl.dmaReads++
+	if len(buf) == 0 {
+		return nil
+	}
+	d.ctl.charge(touchedLines(pa, len(buf)) * cycles.MemAccess)
+	if s := d.ctl.stats; s != nil {
+		s.dmaReads.Add(1)
+	}
 	return d.ctl.Mem.ReadRaw(pa, buf)
 }
 
 // Write stores raw bytes and invalidates overlapping cache lines, exactly
-// as a coherent DMA write would.
+// as a coherent DMA write would. Charged per overlapped cache line.
 func (d *DMA) Write(pa PhysAddr, data []byte) error {
-	d.ctl.charge(cycles.MemAccess)
-	d.ctl.dmaWrites++
+	if len(data) == 0 {
+		return nil
+	}
+	d.ctl.charge(touchedLines(pa, len(data)) * cycles.MemAccess)
+	if s := d.ctl.stats; s != nil {
+		s.dmaWrites.Add(1)
+	}
 	d.ctl.Cache.Invalidate(pa, len(data))
 	return d.ctl.Mem.WriteRaw(pa, data)
 }

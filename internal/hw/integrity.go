@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Integrity is the hardware-based integrity engine the paper proposes in
@@ -27,9 +28,15 @@ type Integrity struct {
 	leaf map[PhysAddr][32]byte // line base -> MAC
 	// protected marks pages under integrity protection.
 	protected map[PFN]bool
-	// Verifies and Updates count engine operations for benchmarks.
+	// Verifies and Updates count engine operations for benchmarks; they
+	// are mutated under mu, like the maps.
 	Verifies uint64
 	Updates  uint64
+
+	// mu guards the maps and counters: concurrent vCPUs hit the engine
+	// from their own controller views. It is a leaf lock — nothing is
+	// acquired while it is held except DRAM reads.
+	mu sync.Mutex
 }
 
 // ErrIntegrity reports a line whose contents do not match the tree.
@@ -60,6 +67,8 @@ func (ig *Integrity) mac(base PhysAddr, line []byte) [32]byte {
 // Protect places a page under integrity protection, capturing its current
 // contents as the trusted state.
 func (ig *Integrity) Protect(pfn PFN) error {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	ig.protected[pfn] = true
 	var line [LineSize]byte
 	for off := PhysAddr(0); off < PageSize; off += LineSize {
@@ -74,6 +83,8 @@ func (ig *Integrity) Protect(pfn PFN) error {
 
 // Unprotect removes a page from protection (teardown).
 func (ig *Integrity) Unprotect(pfn PFN) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	delete(ig.protected, pfn)
 	for off := PhysAddr(0); off < PageSize; off += LineSize {
 		delete(ig.leaf, pfn.Addr()+off)
@@ -81,11 +92,17 @@ func (ig *Integrity) Unprotect(pfn PFN) {
 }
 
 // Protected reports whether a page is under protection.
-func (ig *Integrity) Protected(pfn PFN) bool { return ig.protected[pfn] }
+func (ig *Integrity) Protected(pfn PFN) bool {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	return ig.protected[pfn]
+}
 
 // Update refreshes the tree for a legitimate (controller-mediated) write
 // covering [pa, pa+n).
 func (ig *Integrity) Update(pa PhysAddr, n int) error {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	first := pa &^ (LineSize - 1)
 	last := (pa + PhysAddr(n) - 1) &^ (LineSize - 1)
 	var line [LineSize]byte
@@ -104,6 +121,8 @@ func (ig *Integrity) Update(pa PhysAddr, n int) error {
 
 // Verify checks [pa, pa+n) against the tree before data is consumed.
 func (ig *Integrity) Verify(pa PhysAddr, n int) error {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	first := pa &^ (LineSize - 1)
 	last := (pa + PhysAddr(n) - 1) &^ (LineSize - 1)
 	var line [LineSize]byte
@@ -129,6 +148,8 @@ func (ig *Integrity) Verify(pa PhysAddr, n int) error {
 // Root folds every leaf into a single digest — the value a hardware BMT
 // keeps on-chip. It is order-independent over (address, mac) pairs.
 func (ig *Integrity) Root() [32]byte {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	h := sha256.New()
 	var acc [32]byte
 	for base, mac := range ig.leaf {

@@ -46,6 +46,17 @@ var ErrOutOfRange = errors.New("hw: physical address out of range")
 // bus analyser would see them: ciphertext for encrypted pages.
 type Memory struct {
 	data []byte
+
+	// fault, when non-nil, is a one-shot injected DRAM fault armed by
+	// InjectFault (test instrumentation for channel-error paths).
+	fault *memFault
+}
+
+// memFault describes one injected DRAM fault window.
+type memFault struct {
+	pa  PhysAddr
+	n   int
+	err error
 }
 
 // NewMemory returns a memory of the given number of 4 KiB pages.
@@ -74,10 +85,34 @@ func (m *Memory) check(pa PhysAddr, n int) error {
 	return nil
 }
 
+// InjectFault arms a one-shot DRAM fault: the next ReadRaw or WriteRaw
+// overlapping [pa, pa+n) fails with err before touching memory, then the
+// fault disarms. Tests use it to model a channel error striking mid-
+// transaction (e.g. during the write path's read-modify-write round trip).
+func (m *Memory) InjectFault(pa PhysAddr, n int, err error) {
+	m.fault = &memFault{pa: pa, n: n, err: err}
+}
+
+// takeFault consumes the armed fault if the access overlaps its window.
+func (m *Memory) takeFault(pa PhysAddr, n int) error {
+	f := m.fault
+	if f == nil || n <= 0 {
+		return nil
+	}
+	if pa < f.pa+PhysAddr(f.n) && f.pa < pa+PhysAddr(n) {
+		m.fault = nil
+		return f.err
+	}
+	return nil
+}
+
 // ReadRaw copies bytes exactly as stored in DRAM. This is the view of a
 // cold-boot attacker, a bus snooper, or a DMA engine.
 func (m *Memory) ReadRaw(pa PhysAddr, buf []byte) error {
 	if err := m.check(pa, len(buf)); err != nil {
+		return err
+	}
+	if err := m.takeFault(pa, len(buf)); err != nil {
 		return err
 	}
 	copy(buf, m.data[pa:])
@@ -88,6 +123,9 @@ func (m *Memory) ReadRaw(pa PhysAddr, buf []byte) error {
 // engine. This is the view of a DMA write or a physical tamper.
 func (m *Memory) WriteRaw(pa PhysAddr, data []byte) error {
 	if err := m.check(pa, len(data)); err != nil {
+		return err
+	}
+	if err := m.takeFault(pa, len(data)); err != nil {
 		return err
 	}
 	copy(m.data[pa:], data)

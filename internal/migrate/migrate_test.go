@@ -17,16 +17,16 @@ import (
 // (gfn, version) with a real SHA-256 tag so a corrupting transport is
 // caught by the fake target's tag check, mirroring the firmware's.
 type fakeSource struct {
-	name     string
-	pages    int
-	mem      map[uint64]uint64
-	dirty    map[uint64]bool
-	tracking bool
-	script   []uint64 // gfn written per quantum; empty => guest done
-	pos      int
-	loop     bool // loop the script forever (a never-idle writer)
-	pktSeq   uint64
-	cyc      uint64
+	name       string
+	pages      int
+	mem        map[uint64]uint64
+	dirty      map[uint64]bool
+	tracking   bool
+	script     []uint64 // gfn written per quantum; empty => guest done
+	pos        int
+	loop       bool // loop the script forever (a never-idle writer)
+	pktSeq     uint64
+	cyc        uint64
 	started    bool
 	finished   bool
 	canceled   bool

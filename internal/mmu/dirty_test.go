@@ -21,7 +21,7 @@ func TestDirtyLogBasics(t *testing.T) {
 	if l.Mark(5) {
 		t.Fatal("second mark of the same gfn must report not-new")
 	}
-	if l.Mark(130) || l.Mark(1 << 40) {
+	if l.Mark(130) || l.Mark(1<<40) {
 		t.Fatal("out-of-range gfn must be ignored")
 	}
 	if l.Count() != 3 {

@@ -1,0 +1,106 @@
+package mmu
+
+import (
+	"sync"
+
+	"fidelius/internal/hw"
+)
+
+// ShootdownBus broadcasts TLB invalidations to every registered core TLB —
+// the software analogue of the INVLPGA IPIs a multi-core hypervisor sends
+// so remote cores drop stale translations before a protection-relevant
+// unmap takes effect. Cores register their TLB when they come online (the
+// boot CPU at machine build, per-domain cores in ScheduleParallel) and
+// unregister when they go offline.
+//
+// Lock order: the bus mutex is taken before the per-TLB mutexes, and
+// nothing acquires the bus while holding a TLB lock.
+type ShootdownBus struct {
+	lock   sync.Mutex
+	tlbs   []*TLB
+	bcasts uint64
+}
+
+// Register adds a core's TLB to the broadcast set.
+func (b *ShootdownBus) Register(t *TLB) {
+	if b == nil || t == nil {
+		return
+	}
+	b.lock.Lock()
+	b.tlbs = append(b.tlbs, t)
+	b.lock.Unlock()
+}
+
+// Unregister removes a core's TLB from the broadcast set.
+func (b *ShootdownBus) Unregister(t *TLB) {
+	if b == nil {
+		return
+	}
+	b.lock.Lock()
+	for i, x := range b.tlbs {
+		if x == t {
+			b.tlbs = append(b.tlbs[:i], b.tlbs[i+1:]...)
+			break
+		}
+	}
+	b.lock.Unlock()
+}
+
+// FlushEntry invalidates one page of one ASID on every registered core.
+func (b *ShootdownBus) FlushEntry(asid hw.ASID, va uint64) {
+	if b == nil {
+		return
+	}
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	b.bcasts++
+	for _, t := range b.tlbs {
+		t.FlushEntry(asid, va)
+	}
+}
+
+// FlushASID invalidates every entry of one ASID on every registered core.
+func (b *ShootdownBus) FlushASID(asid hw.ASID) {
+	if b == nil {
+		return
+	}
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	b.bcasts++
+	for _, t := range b.tlbs {
+		t.FlushASID(asid)
+	}
+}
+
+// FlushAll empties every registered core's TLB.
+func (b *ShootdownBus) FlushAll() {
+	if b == nil {
+		return
+	}
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	b.bcasts++
+	for _, t := range b.tlbs {
+		t.FlushAll()
+	}
+}
+
+// Cores reports how many TLBs are registered.
+func (b *ShootdownBus) Cores() int {
+	if b == nil {
+		return 0
+	}
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	return len(b.tlbs)
+}
+
+// Broadcasts reports how many invalidation broadcasts have been sent.
+func (b *ShootdownBus) Broadcasts() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	return b.bcasts
+}

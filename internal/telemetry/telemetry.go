@@ -42,6 +42,7 @@ const (
 	KindNPTViolation       // nested-page-table violation (arg1 = GPA)
 	KindTLBFlushFull       // full TLB flush
 	KindTLBFlushEntry      // single-entry TLB flush (arg1 = VA)
+	KindTLBFlushASID       // ASID-wide TLB flush (arg1 = entries removed)
 	KindMemEncrypt         // memory-controller inline encrypt (arg1 = PA, arg2 = bytes)
 	KindMemDecrypt         // memory-controller inline decrypt (arg1 = PA, arg2 = bytes)
 	KindHypercall          // hypercall dispatched (arg1 = number)
@@ -68,6 +69,7 @@ var kindNames = [numKinds]string{
 	KindNPTViolation:  "npt-violation",
 	KindTLBFlushFull:  "tlb-flush-full",
 	KindTLBFlushEntry: "tlb-flush-entry",
+	KindTLBFlushASID:  "tlb-flush-asid",
 	KindMemEncrypt:    "mem-encrypt",
 	KindMemDecrypt:    "mem-decrypt",
 	KindHypercall:     "hypercall",
@@ -92,6 +94,7 @@ var kindCats = [numKinds]string{
 	KindNPTViolation:  "mmu",
 	KindTLBFlushFull:  "mmu",
 	KindTLBFlushEntry: "mmu",
+	KindTLBFlushASID:  "mmu",
 	KindMemEncrypt:    "mem",
 	KindMemDecrypt:    "mem",
 	KindHypercall:     "xen",

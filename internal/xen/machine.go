@@ -65,6 +65,13 @@ type Machine struct {
 	Alloc  *FrameAlloc
 	HostPT *mmu.Space
 	Stubs  Stubs
+
+	// TLBs is the TLB shootdown bus: every online core's TLB is
+	// registered here, so protection-relevant invalidations (the type 3
+	// gate unmaps in particular) reach remote cores as INVLPGA IPIs
+	// would. The boot CPU registers at machine build; ScheduleParallel
+	// registers one core per domain slot.
+	TLBs *mmu.ShootdownBus
 }
 
 // NewMachine builds and boots the bare machine: physical memory, an
@@ -81,7 +88,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 		CPU:   cpu.New(ctl),
 		FW:    sev.NewFirmware(ctl),
 		Alloc: NewFrameAlloc(1, cfg.MemPages),
+		TLBs:  &mmu.ShootdownBus{},
 	}
+	m.TLBs.Register(m.CPU.TLB)
 	// BIOS enables SME: a random host key lives in slot 0 from boot.
 	var smeKey hw.Key
 	if _, err := io.ReadFull(rand.Reader, smeKey[:]); err != nil {
@@ -189,6 +198,34 @@ func (m *Machine) buildHostPT() error {
 		}
 	}
 	return nil
+}
+
+// NewCore brings an additional simulated core online for a parallel
+// domain runner: a private register file and TLB over a per-vCPU
+// controller view, sharing the machine's control-register state. The TLB
+// joins the shootdown bus so cross-core invalidations reach it; events it
+// emits land on the shared hub, but its metrics are not re-registered
+// (the boot CPU's TLB serves the tlb.* metric names).
+func (m *Machine) NewCore() *cpu.CPU {
+	c := &cpu.CPU{
+		Ctl:  m.Ctl.View(),
+		TLB:  mmu.NewTLB(),
+		IF:   true,
+		CR0:  m.CPU.CR0,
+		CR3:  m.CPU.CR3,
+		CR4:  m.CPU.CR4,
+		EFER: m.CPU.EFER,
+	}
+	c.TLB.Hub = m.Ctl.Telem
+	m.TLBs.Register(c.TLB)
+	return c
+}
+
+// ReleaseCore takes a NewCore core offline: its TLB leaves the shootdown
+// bus and its private cycle counter folds back into the machine clock.
+func (m *Machine) ReleaseCore(c *cpu.CPU) {
+	m.TLBs.Unregister(c.TLB)
+	c.Ctl.Release()
 }
 
 // ExecStub runs a privileged stub on the CPU with r0 preloaded. This is

@@ -1,0 +1,151 @@
+package xen
+
+import (
+	"fmt"
+	"sync"
+
+	"fidelius/internal/cpu"
+	"fidelius/internal/cycles"
+	"fidelius/internal/parallel"
+	"fidelius/internal/telemetry"
+)
+
+// ScheduleParallel runs a set of started domains concurrently: one runner
+// goroutine per domain, bounded by a slot semaphore of width scheduling
+// slots (the internal/parallel pool), each slot a simulated core brought
+// online with Machine.NewCore. Every runner drives its own vCPU through
+// the existing VMEXIT dispatch; guest code executes truly concurrently on
+// per-vCPU controller views, while all host-side work — boundary hooks,
+// VMCB load/store, hypercalls, NPT updates — serializes under the big
+// hypervisor lock, exactly the lock discipline of a real big-lock
+// hypervisor. A width <= 0 picks GOMAXPROCS.
+//
+// The serial Schedule remains the default: its round-robin interleaving
+// is deterministic, which the paper's attack demos and the golden traces
+// rely on. ScheduleParallel trades that determinism for throughput; the
+// per-domain memory images and launch measurements are identical either
+// way (see TestScheduleParallelMatchesSerial).
+//
+// One deliberate divergence from the serial path: runners enter the guest
+// directly instead of calling Interpose.VMRun, because the VMRUN stub
+// executes on the single shared boot CPU and would re-serialize every
+// quantum. The PreVMRun/OnVMExit boundary hooks — where Fidelius shadows
+// and verifies the VMCB — still run, under the lock, for every quantum.
+func (x *Xen) ScheduleParallel(doms []*Domain, width int) map[DomID]error {
+	errs := make(map[DomID]error)
+	var emu sync.Mutex
+	pool := parallel.New(width)
+	pool.Register(x.M.Ctl.Telem.Reg)
+	_ = pool.ForEach(len(doms), func(i int) error {
+		d := doms[i]
+		if err := x.runDomain(d); err != nil {
+			emu.Lock()
+			errs[d.ID] = err
+			emu.Unlock()
+		}
+		return nil
+	})
+	return errs
+}
+
+// runDomain drives one domain to completion on a freshly onlined core.
+func (x *Xen) runDomain(d *Domain) error {
+	v := d.vcpu
+	if v == nil {
+		return fmt.Errorf("xen: domain %d not started", d.ID)
+	}
+	if v.halted {
+		return v.err
+	}
+	core := x.M.NewCore()
+	defer x.M.ReleaseCore(core)
+	// Hand the vCPU this core's controller view; the guest goroutine is
+	// parked (StartVCPU blocks on the first resume, a completed quantum
+	// blocks in exit()), so the swap is ordered by the resume send below.
+	v.ctl = core.Ctl
+	defer func() { v.ctl = x.M.Ctl }()
+	for {
+		done, err := x.runQuantum(d, core)
+		if done {
+			return err
+		}
+	}
+}
+
+// runQuantum is the parallel counterpart of RunOnce: enter the guest, take
+// one VMEXIT through the interposer boundary hooks, and dispatch it. The
+// hypervisor lock is dropped while the guest runs — that window is where
+// domains overlap.
+func (x *Xen) runQuantum(d *Domain, core *cpu.CPU) (done bool, err error) {
+	v := d.vcpu
+	ctl := core.Ctl
+	start := ctl.Cycles.Total()
+	defer func() {
+		spent := ctl.Cycles.Sub(start)
+		x.mu.Lock()
+		x.CycleAccount[d.ID] += spent
+		x.mu.Unlock()
+		ctl.Telem.M.ExitCycles.Observe(spent)
+	}()
+
+	x.mu.Lock()
+	if err := x.Interpose.PreVMRun(d, d.VMCBPA()); err != nil {
+		x.mu.Unlock()
+		return true, fmt.Errorf("xen: entry to %s vetoed: %w", d.Name, err)
+	}
+	vmcb, err := cpu.LoadVMCB(x.M.Ctl, d.VMCBPA())
+	if err != nil {
+		x.mu.Unlock()
+		return true, err
+	}
+	fault := d.pendingFault
+	d.pendingFault = false
+	tel := ctl.Telem
+	tel.M.VMRuns.Inc()
+	if tel.Tracing() {
+		tel.Emit(telemetry.KindVMRun, uint32(d.ID), uint32(d.ASID),
+			cycles.VMEntry, uint64(d.VMCBPA()), 0)
+	}
+	ctl.Cycles.Charge(cycles.VMEntry)
+	x.mu.Unlock()
+
+	// Guest quantum: the only unlocked window. The vCPU goroutine runs
+	// against this core's controller view until its next exit.
+	v.resume <- resumeMsg{regs: vmcb.Regs, fault: fault}
+	ev := <-v.exitCh
+
+	ctl.Cycles.Charge(cycles.VMExit)
+	tel.M.VMExits.Inc()
+	if tel.Tracing() {
+		tel.Emit(telemetry.KindVMExit, uint32(d.ID), uint32(d.ASID),
+			cycles.VMExit, uint64(ev.reason), 0)
+	}
+
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if ev.done {
+		v.halted = true
+		v.err = ev.err
+	}
+	vmcb.ExitCode = ev.reason
+	vmcb.ExitInfo1 = ev.info1
+	vmcb.ExitInfo2 = ev.info2
+	vmcb.Regs = ev.regs
+	vmcb.RIP = ev.rip
+	if err := cpu.StoreVMCB(x.M.Ctl, d.VMCBPA(), vmcb); err != nil {
+		return true, err
+	}
+	// The guest's general purpose registers land in this core's register
+	// file in plaintext — the SEV-without-ES exposure of Section 2.2.
+	core.Regs = ev.regs
+	if err := x.Interpose.OnVMExit(d, d.VMCBPA()); err != nil {
+		return true, err
+	}
+	if v.halted {
+		return true, v.err
+	}
+	if err := x.handleExit(d); err != nil {
+		return true, err
+	}
+	return false, nil
+}

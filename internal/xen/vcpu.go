@@ -45,6 +45,13 @@ type VCPU struct {
 	resume chan resumeMsg
 	halted bool
 	err    error
+
+	// ctl is the controller port the guest side of this vCPU drives: the
+	// machine's root controller under serial scheduling, a per-vCPU view
+	// while a parallel runner owns the domain. The runner swaps it only
+	// while the guest is parked in exit(), so the resume channel provides
+	// the happens-before edge.
+	ctl *hw.Controller
 }
 
 // GuestEnv is the machine as seen from inside the guest: virtual memory
@@ -89,6 +96,11 @@ func (g *GuestEnv) exit(reason cpu.ExitReason, info1, info2 uint64) bool {
 		g.tlb = nil
 		g.tlbGen = gen
 	}
+	// A scheduler may have handed the vCPU a different controller port
+	// (serial root vs parallel per-vCPU view) while the guest was parked.
+	if g.nested.Ctl != g.v.ctl {
+		g.nested.Ctl = g.v.ctl
+	}
 	return r.fault
 }
 
@@ -106,7 +118,7 @@ func (g *GuestEnv) translate(addr uint64, acc mmu.AccessType) (hw.Access, error)
 	key := gTLBKey{page: mmu.PageBase(addr), acc: acc}
 	if a, ok := g.tlb[key]; ok {
 		a.PA += hw.PhysAddr(addr & (hw.PageSize - 1))
-		g.v.x.M.Ctl.Cycles.Charge(1)
+		g.v.ctl.Cycles.Charge(1)
 		return a, nil
 	}
 	for {
@@ -176,9 +188,9 @@ func (g *GuestEnv) access(addr uint64, buf []byte, acc mmu.AccessType) error {
 			return err
 		}
 		if acc == mmu.Write {
-			err = g.v.x.M.Ctl.Write(a, buf[done:done+n])
+			err = g.v.ctl.Write(a, buf[done:done+n])
 		} else {
-			err = g.v.x.M.Ctl.Read(a, buf[done:done+n])
+			err = g.v.ctl.Read(a, buf[done:done+n])
 		}
 		if err != nil {
 			return err
@@ -241,7 +253,7 @@ func (g *GuestEnv) rawGPA(gpa uint64, buf []byte, acc mmu.AccessType) error {
 		if c, ok := g.tlb[key]; ok {
 			a = c
 			a.PA += hw.PhysAddr(cur & (hw.PageSize - 1))
-			g.v.x.M.Ctl.Cycles.Charge(1)
+			g.v.ctl.Cycles.Charge(1)
 		} else {
 			for {
 				tr, err := g.nested.NPT.Translate(cur, acc, true, false)
@@ -261,9 +273,9 @@ func (g *GuestEnv) rawGPA(gpa uint64, buf []byte, acc mmu.AccessType) error {
 		}
 		var err error
 		if acc == mmu.Write {
-			err = g.v.x.M.Ctl.Write(a, buf[done:done+n])
+			err = g.v.ctl.Write(a, buf[done:done+n])
 		} else {
-			err = g.v.x.M.Ctl.Read(a, buf[done:done+n])
+			err = g.v.ctl.Read(a, buf[done:done+n])
 		}
 		if err != nil {
 			return err
@@ -304,12 +316,13 @@ func (g *GuestEnv) CPUID(leaf uint32) [4]uint64 {
 // immediately in this synchronous model.
 func (g *GuestEnv) Halt() { g.exit(cpu.ExitHLT, 0, 0) }
 
-// Charge adds guest compute cycles to the machine counter (the ALU work
+// Charge adds guest compute cycles to this vCPU's counter (the ALU work
 // of the synthetic workloads).
-func (g *GuestEnv) Charge(n uint64) { g.v.x.M.Ctl.Cycles.Charge(n) }
+func (g *GuestEnv) Charge(n uint64) { g.v.ctl.Cycles.Charge(n) }
 
-// Cycles reads the machine cycle counter (the guest's TSC).
-func (g *GuestEnv) Cycles() uint64 { return g.v.x.M.Ctl.Cycles.Total() }
+// Cycles reads the machine's global cycle clock (the guest's TSC): the
+// base counter plus every live per-vCPU counter.
+func (g *GuestEnv) Cycles() uint64 { return g.v.ctl.Now() }
 
 // ConsolePrint writes a string to the domain's console through the
 // console hypercall, eight bytes per exit.
@@ -439,6 +452,7 @@ func (x *Xen) StartVCPU(d *Domain, fn GuestFunc) *VCPU {
 		x:      x,
 		exitCh: make(chan exitEvent),
 		resume: make(chan resumeMsg),
+		ctl:    x.M.Ctl,
 	}
 	d.vcpu = v
 	go func() {
@@ -448,7 +462,7 @@ func (x *Xen) StartVCPU(d *Domain, fn GuestFunc) *VCPU {
 			Regs: r.regs,
 			Info: d.Info,
 			nested: &mmu.Nested{
-				Ctl:              x.M.Ctl,
+				Ctl:              v.ctl,
 				NPT:              d.NPT,
 				ASID:             d.ASID,
 				GuestPTEncrypted: d.SEV,

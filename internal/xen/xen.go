@@ -3,6 +3,7 @@ package xen
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"fidelius/internal/cpu"
 	"fidelius/internal/hw"
@@ -24,6 +25,15 @@ var CPUIDModel = [4]uint64{0x0F1DE115, 0x414D44, 0x5345, 0x56}
 // manages every critical resource directly.
 type Xen struct {
 	M *Machine
+
+	// mu is the big hypervisor lock, held by ScheduleParallel runners for
+	// every host-side step (boundary hooks, VMCB load/store, VMEXIT
+	// dispatch) and released only while their guest runs. Serial entry
+	// points (Run, RunOnce, Schedule) do not take it: they are the
+	// deterministic single-threaded mode and are never mixed with a
+	// concurrent ScheduleParallel. Lock order: mu > shootdown bus >
+	// cache-set/TLB/integrity leaf locks.
+	mu sync.Mutex
 
 	// Interpose is the resource-management seam; Fidelius replaces it.
 	Interpose Interposer
