@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke vet fmt check fuzz stress migrate trace examples tables attacks xsa demo clean
+.PHONY: all build test race bench benchsmoke benchdiff vet fmt check fuzz stress migrate trace examples tables attacks xsa demo clean
 
 all: build test
 
@@ -48,6 +48,15 @@ bench:
 # benchmark harness without paying for a full measurement run.
 benchsmoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
+
+# Regression gate between two captured benchmark artifacts: fails when
+# any ns/op delta exceeds the threshold percentage, e.g.
+# `make benchdiff BENCH_OLD=BENCH_4.json BENCH_NEW=BENCH_5.json`.
+BENCH_OLD ?= BENCH_4.json
+BENCH_NEW ?= BENCH_5.json
+BENCH_THRESHOLD ?= 10
+benchdiff:
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
 
 vet:
 	$(GO) vet ./...

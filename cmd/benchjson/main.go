@@ -1,11 +1,18 @@
 // benchjson converts `go test -bench` text output into a stable JSON
 // artifact for the perf CI lane. It reads the benchmark stream on stdin,
 // tees the raw text to stderr so the run stays readable, and writes one
-// JSON document (benchmark name → metric map) to the -o file.
+// JSON document (benchmark name → metric map) to the -o file. The report
+// records the capture environment (Go version, GOMAXPROCS, CPU count) so
+// multi-core wins stay attributable.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem . | benchjson -o BENCH_4.json
+//	benchjson -diff BENCH_4.json BENCH_5.json -threshold 10
+//
+// -diff compares two reports benchmark-by-benchmark (ns/op and allocs/op
+// deltas) and exits 1 when any ns/op regression exceeds the threshold
+// percentage — the CI regression gate.
 package main
 
 import (
@@ -13,8 +20,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -33,6 +42,9 @@ type Report struct {
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -60,16 +72,22 @@ func parseLine(line string) (Result, bool) {
 	return r, len(r.Metrics) > 0
 }
 
-func main() {
-	out := flag.String("o", "BENCH.json", "output JSON path")
-	flag.Parse()
-
-	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
+// parseStream consumes a `go test -bench` text stream, teeing each line
+// to echo (nil to discard), and returns the assembled report stamped with
+// the capture environment.
+func parseStream(in io.Reader, echo io.Writer) (Report, error) {
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Fprintln(os.Stderr, line)
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
 		switch {
 		case strings.HasPrefix(line, "goos: "):
 			rep.Goos = strings.TrimPrefix(line, "goos: ")
@@ -85,7 +103,131 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return rep, sc.Err()
+}
+
+// Delta is one benchmark's old-vs-new comparison. Percentages are
+// (new-old)/old*100; NaN-free because a zero old value reports 0.
+type Delta struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	NsPct     float64
+	OldAllocs float64
+	NewAllocs float64
+	AllocsPct float64
+	Missing   bool // present in old, absent in new
+	Added     bool // absent in old, present in new
+}
+
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// diffReports matches benchmarks by name (old report order, then
+// new-only additions) and computes the metric deltas.
+func diffReports(oldRep, newRep Report) []Delta {
+	byName := make(map[string]Result, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		byName[b.Name] = b
+	}
+	var out []Delta
+	seen := map[string]bool{}
+	for _, ob := range oldRep.Benchmarks {
+		seen[ob.Name] = true
+		d := Delta{
+			Name:      ob.Name,
+			OldNs:     ob.Metrics["ns/op"],
+			OldAllocs: ob.Metrics["allocs/op"],
+		}
+		nb, ok := byName[ob.Name]
+		if !ok {
+			d.Missing = true
+			out = append(out, d)
+			continue
+		}
+		d.NewNs = nb.Metrics["ns/op"]
+		d.NewAllocs = nb.Metrics["allocs/op"]
+		d.NsPct = pct(d.OldNs, d.NewNs)
+		d.AllocsPct = pct(d.OldAllocs, d.NewAllocs)
+		out = append(out, d)
+	}
+	for _, nb := range newRep.Benchmarks {
+		if !seen[nb.Name] {
+			out = append(out, Delta{
+				Name:      nb.Name,
+				NewNs:     nb.Metrics["ns/op"],
+				NewAllocs: nb.Metrics["allocs/op"],
+				Added:     true,
+			})
+		}
+	}
+	return out
+}
+
+// writeDiff renders the comparison table and reports whether any ns/op
+// regression exceeds threshold percent.
+func writeDiff(w io.Writer, deltas []Delta, threshold float64) bool {
+	regressed := false
+	fmt.Fprintf(w, "%-56s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ns %", "allocs %")
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			fmt.Fprintf(w, "%-56s %14.1f %14s %8s %10s  (removed)\n", d.Name, d.OldNs, "-", "-", "-")
+		case d.Added:
+			fmt.Fprintf(w, "%-56s %14s %14.1f %8s %10s  (added)\n", d.Name, "-", d.NewNs, "-", "-")
+		default:
+			flag := ""
+			if d.NsPct > threshold {
+				flag = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(w, "%-56s %14.1f %14.1f %+7.1f%% %+9.1f%%%s\n",
+				d.Name, d.OldNs, d.NewNs, d.NsPct, d.AllocsPct, flag)
+		}
+	}
+	return regressed
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON path")
+	diff := flag.Bool("diff", false, "compare two report files: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 10, "ns/op regression threshold percent for -diff exit code")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("benchjson: -diff needs exactly two report paths: old.json new.json")
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if writeDiff(os.Stdout, diffReports(oldRep, newRep), *threshold) {
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression over %.1f%% detected\n", *threshold)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := parseStream(os.Stdin, os.Stderr)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if len(rep.Benchmarks) == 0 {

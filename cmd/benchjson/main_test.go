@@ -1,0 +1,89 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: fidelius
+cpu: AMD Ryzen sim
+BenchmarkMemRead-4   	 1000000	      1200 ns/op	      32 B/op	       2 allocs/op
+BenchmarkMemWrite-4  	  500000	      2400 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseStreamRecordsEnvironment(t *testing.T) {
+	rep, err := parseStream(strings.NewReader(sampleStream), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoVersion != runtime.Version() {
+		t.Errorf("go version = %q, want %q", rep.GoVersion, runtime.Version())
+	}
+	if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d", rep.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if rep.NumCPU != runtime.NumCPU() {
+		t.Errorf("num_cpu = %d, want %d", rep.NumCPU, runtime.NumCPU())
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD Ryzen sim" {
+		t.Errorf("header fields wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Metrics["ns/op"] != 1200 {
+		t.Errorf("ns/op = %v, want 1200", rep.Benchmarks[0].Metrics["ns/op"])
+	}
+}
+
+func mkReport(nsByName map[string]float64, allocsByName map[string]float64) Report {
+	var rep Report
+	for name, ns := range nsByName {
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Name:       name,
+			Iterations: 1,
+			Metrics:    map[string]float64{"ns/op": ns, "allocs/op": allocsByName[name]},
+		})
+	}
+	return rep
+}
+
+func TestDiffReports(t *testing.T) {
+	oldRep := mkReport(map[string]float64{"BenchA": 100, "BenchB": 200, "BenchGone": 50},
+		map[string]float64{"BenchA": 2, "BenchB": 0})
+	newRep := mkReport(map[string]float64{"BenchA": 125, "BenchB": 190, "BenchNew": 10},
+		map[string]float64{"BenchA": 2, "BenchB": 0})
+	deltas := diffReports(oldRep, newRep)
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchA"]; d.NsPct < 24.9 || d.NsPct > 25.1 {
+		t.Errorf("BenchA ns delta = %v, want +25%%", d.NsPct)
+	}
+	if d := byName["BenchB"]; d.NsPct > 0 {
+		t.Errorf("BenchB should improve, got %+v", d)
+	}
+	if !byName["BenchGone"].Missing {
+		t.Error("BenchGone should be flagged missing")
+	}
+	if !byName["BenchNew"].Added {
+		t.Error("BenchNew should be flagged added")
+	}
+
+	var sb strings.Builder
+	if regressed := writeDiff(&sb, deltas, 10); !regressed {
+		t.Error("25%% ns/op regression over a 10%% threshold must trip the gate")
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Error("diff table should flag the regression")
+	}
+	sb.Reset()
+	if regressed := writeDiff(&sb, deltas, 30); regressed {
+		t.Error("25%% regression under a 30%% threshold must pass")
+	}
+}

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	benchtab [-fig5] [-fig6] [-table3] [-micro] [-migration] [-iters N] [-sectors N]
+//	benchtab [-fig5] [-fig6] [-table3] [-micro] [-migration] [-slo] [-iters N] [-sectors N]
 //
-// With no flags, everything runs.
+// With no flags, everything runs. -slo evaluates the stock latency
+// service-level objectives against a protected SPEC run and prints the
+// pass/fail table.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"path/filepath"
 
 	"fidelius/internal/bench"
+	"fidelius/internal/telemetry"
 )
 
 func main() {
@@ -26,6 +29,7 @@ func main() {
 	micro := flag.Bool("micro", false, "run the Section 7.2 micro-benchmarks")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
 	migration := flag.Bool("migration", false, "run the live-migration downtime table")
+	slo := flag.Bool("slo", false, "evaluate the latency SLOs against a protected SPEC run")
 	iters := flag.Int("iters", 40, "workload iterations per benchmark")
 	sectors := flag.Int("sectors", 640, "fio sectors per pattern")
 	csvDir := flag.String("csv", "", "also write fig5.csv/fig6.csv/table3.csv into this directory")
@@ -45,7 +49,7 @@ func main() {
 		}
 	}
 
-	all := !*fig5 && !*fig6 && !*table3 && !*micro && !*ablation && !*migration
+	all := !*fig5 && !*fig6 && !*table3 && !*micro && !*ablation && !*migration && !*slo
 
 	if *csvDir != "" {
 		snap, err := bench.CaptureTelemetry(*iters)
@@ -115,6 +119,17 @@ func main() {
 		}
 		fmt.Println(bench.FormatMigrationTable(rows))
 		writeCSV("migration.csv", func(f *os.File) error { return bench.WriteMigrationCSV(f, rows) })
+	}
+	if all || *slo {
+		evals, err := bench.SLOReport(*iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Service-level objectives (protected SPEC run)")
+		if err := telemetry.WriteSLOTable(os.Stdout, evals); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
 	}
 	if all || *ablation {
 		ga, err := bench.MeasureGateAblation(200)

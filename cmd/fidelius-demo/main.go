@@ -46,6 +46,7 @@ func main() {
 		}
 		plat.StartTrace(0)
 	}
+	plat.StartAudit()
 	fmt.Printf("    hypervisor code measured: %x…\n", plat.F.HypervisorMeasurement[:12])
 	fmt.Println("    privileged instructions monopolised, page tables write-protected,")
 	fmt.Println("    VMRUN and MOV CR3 stub pages unmapped, SEV metadata self-maintained")
@@ -188,9 +189,28 @@ func main() {
 	}
 	fmt.Printf("    done; policy violations during the benign session: %d\n", len(plat.Violations()))
 
-	step(9, "Observability: audit log, metrics, timeline")
+	step(9, "Observability: audit ledger, SLOs, metrics, timeline")
 	fmt.Print("    ")
 	plat.DumpViolations(os.Stdout)
+	recs := plat.AuditRecords()
+	head := plat.AuditHead()
+	if err := fidelius.VerifyAuditChain(recs, head); err != nil {
+		fmt.Printf("    audit ledger: %d records, VERIFICATION FAILED: %v\n", len(recs), err)
+	} else {
+		fmt.Printf("    audit ledger: %d records, hash chain verified (head %x…)\n",
+			len(recs), head[:8])
+	}
+	for _, ev := range plat.EvaluateSLOs(fidelius.DefaultSLOs()) {
+		verdict := "PASS"
+		switch {
+		case ev.Skipped:
+			verdict = "SKIP"
+		case !ev.Pass:
+			verdict = "FAIL"
+		}
+		fmt.Printf("    slo %-12s q%.2f of %s ≤ %.0f cycles: %s (burn %.2f over %d samples)\n",
+			ev.Name, ev.Quantile, ev.Metric, ev.Max, verdict, ev.BurnRate, ev.Count)
+	}
 	if *metrics {
 		if err := plat.Metrics().WriteTable(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -204,8 +224,8 @@ func main() {
 			log.Fatal(err)
 		}
 		if tr := plat.Telemetry().Trace(); tr != nil {
-			fmt.Printf("    timeline: %d events (%d dropped) written to %s\n",
-				len(tr.Events()), tr.Dropped(), *traceOut)
+			fmt.Printf("    timeline: %d events (%d dropped), %d causal spans written to %s\n",
+				len(tr.Events()), tr.Dropped(), len(tr.Spans()), *traceOut)
 		}
 	}
 }

@@ -8,10 +8,12 @@
 //	fideliustop [-vms N] [-iters N] [-json] [-trace out.json] [-migrate]
 //
 // -json dumps the raw registry snapshot instead of the table; -trace
-// additionally captures the run as a Chrome trace_event timeline.
-// -migrate live-migrates the first VM to a second platform after the
-// workload and reports downtime, rounds and wire traffic; the migrate.*
-// registry metrics then show up in the table and JSON output too.
+// additionally captures the run as a Chrome trace_event timeline (causal
+// spans with parent links included). -migrate live-migrates the first VM
+// to a second platform after the workload and reports downtime, rounds
+// and wire traffic; the migrate.* registry metrics then show up in the
+// table and JSON output too. The table mode also evaluates the stock
+// latency SLOs and prints the security audit ledger's verdict.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"sort"
 
 	"fidelius"
+	"fidelius/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func main() {
 	if *traceOut != "" {
 		plat.StartTrace(0)
 	}
+	plat.StartAudit()
 
 	owner, err := fidelius.NewOwner()
 	if err != nil {
@@ -133,6 +137,19 @@ func main() {
 			fmt.Printf("%-4d %-12s %14d %6.1f%%\n", r.id, r.name, r.cycles, share)
 		}
 		fmt.Println()
+		fmt.Println("service-level objectives:")
+		if err := telemetry.WriteSLOTable(os.Stdout, plat.EvaluateSLOs(fidelius.DefaultSLOs())); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		recs := plat.AuditRecords()
+		head := plat.AuditHead()
+		if err := fidelius.VerifyAuditChain(recs, head); err != nil {
+			fmt.Printf("audit ledger: %d records, VERIFICATION FAILED: %v\n\n", len(recs), err)
+		} else {
+			fmt.Printf("audit ledger: %d records, hash chain verified (head %x..)\n\n",
+				len(recs), head[:8])
+		}
 		if err := snap.WriteTable(os.Stdout); err != nil {
 			log.Fatal(err)
 		}

@@ -371,8 +371,56 @@ func (p *Platform) StopTrace() { p.Telemetry().StopTrace() }
 
 // WriteTrace renders the captured events as Chrome trace_event JSON,
 // loadable in chrome://tracing or Perfetto. Processes are VMs (pid =
-// domain ID), threads are ASIDs.
+// domain ID), threads are ASIDs. Causal spans (scheduler sessions,
+// quanta, SEV firmware commands, migration rounds, pool batches) are
+// exported alongside, with parent→child flow arrows.
 func (p *Platform) WriteTrace(w io.Writer) error { return p.Telemetry().WriteChromeTrace(w) }
+
+// SLOObjective is one declarative latency objective over a platform
+// histogram (see telemetry.Objective).
+type SLOObjective = telemetry.Objective
+
+// SLOEvaluation is one objective's pass/fail verdict with its measured
+// quantile and burn rate.
+type SLOEvaluation = telemetry.Evaluation
+
+// DefaultSLOs returns the platform's stock latency objectives (VMEXIT
+// round-trip p50/p99).
+func DefaultSLOs() []SLOObjective { return telemetry.DefaultObjectives() }
+
+// EvaluateSLOs checks the objectives against the live registry, emitting
+// burn-rate alert events for failures; render the result with
+// telemetry.WriteSLOTable.
+func (p *Platform) EvaluateSLOs(objs []SLOObjective) []SLOEvaluation {
+	return p.Telemetry().EvaluateSLOs(objs)
+}
+
+// AuditRecord is one entry of the hash-chained security audit ledger.
+type AuditRecord = telemetry.Record
+
+// StartAudit arms the platform's append-only, hash-chained security
+// audit ledger: gatekeeper denials, integrity-tag failures, NPT remap and
+// ASID-reuse detections, SEV state transitions and attestation quotes all
+// append records. When no ledger is armed the instrumentation reduces to
+// a single atomic load.
+func (p *Platform) StartAudit() { p.Telemetry().StartLedger() }
+
+// StopAudit disarms and detaches the current audit ledger.
+func (p *Platform) StopAudit() { p.Telemetry().StopLedger() }
+
+// AuditRecords returns a copy of the ledger's chain, oldest first.
+func (p *Platform) AuditRecords() []AuditRecord { return p.Telemetry().Ledger().Records() }
+
+// AuditHead returns the ledger's live head hash. A verifier that holds
+// the head out of band detects truncation of an exported copy, not just
+// in-place tampering.
+func (p *Platform) AuditHead() [32]byte { return p.Telemetry().Ledger().Head() }
+
+// VerifyAuditChain checks an exported ledger copy against a head hash;
+// any mutation, reorder, insertion, deletion or truncation fails.
+func VerifyAuditChain(recs []AuditRecord, head [32]byte) error {
+	return telemetry.VerifyChain(recs, head)
+}
 
 // NewDisk creates a virtual disk with the given number of 512-byte
 // sectors.

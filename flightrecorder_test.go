@@ -1,0 +1,209 @@
+package fidelius
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fidelius/internal/telemetry"
+)
+
+// TestFlightRecorderEndToEnd drives a full protected session — launch,
+// scheduled workload, live migration — with the whole flight recorder
+// armed, and checks the three pillars together: every causal span in the
+// hot families has a resolvable parent and survives the Chrome export as
+// flow-linked slices, the stock SLOs actually evaluate (not skip), and
+// the audit ledger records the session's denials in a chain that defeats
+// rewrite and truncation.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	plat, err := NewPlatform(Config{Protected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat.StartTrace(0)
+	plat.StartAudit()
+
+	owner, err := NewOwner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := bytes.Repeat([]byte("flight-rec-kern!"), 256)
+
+	var doms []*Domain
+	for i := 0; i < 2; i++ {
+		bundle, _, err := PrepareGuest(owner, plat.PlatformKey(), kernel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := plat.LaunchVM(fmt.Sprintf("flight-%d", i), 32, bundle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doms = append(doms, d)
+		plat.StartVCPU(d, func(g *GuestEnv) error {
+			buf := make([]byte, 32)
+			for j := 0; j < 12; j++ {
+				if err := g.Write(0x6000+uint64(j%4)*64, buf); err != nil {
+					return err
+				}
+				if err := g.Read(0x6000+uint64(j%4)*64, buf); err != nil {
+					return err
+				}
+				if _, err := g.Hypercall(HCVoid); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if errs := plat.Schedule(doms); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+
+	target, err := NewPlatform(Config{Protected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LiveMigrate(plat, doms[0], target, MigrateConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Provoke an audited denial: the start-info page is write-once, so a
+	// second write is vetoed by the gatekeeper and must land in the ledger.
+	if err := plat.X.WriteStartInfo(doms[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := plat.X.WriteStartInfo(doms[1]); err == nil {
+		t.Fatal("second start-info write should be vetoed")
+	}
+
+	// --- causal spans: the hot families all parent into the tree -------
+	spans := plat.Telemetry().Trace().Spans()
+	ids := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		ids[s.ID] = true
+	}
+	family := func(name string) string {
+		switch {
+		case name == "quantum":
+			return "quantum"
+		case strings.HasPrefix(name, "sev:"):
+			return "sev"
+		case name == "migrate-round":
+			return "migrate-round"
+		}
+		return ""
+	}
+	counts := map[string]int{}
+	for _, s := range spans {
+		f := family(s.Name)
+		if f == "" {
+			continue
+		}
+		counts[f]++
+		if s.Parent == 0 {
+			t.Errorf("span %d %q (vm %d) has no parent", s.ID, s.Name, s.VM)
+		} else if !ids[s.Parent] {
+			t.Errorf("span %d %q has unresolvable parent %d", s.ID, s.Name, s.Parent)
+		}
+	}
+	for _, f := range []string{"quantum", "sev", "migrate-round"} {
+		if counts[f] == 0 {
+			t.Errorf("no %s spans recorded", f)
+		}
+	}
+
+	// --- Chrome export: spans become slices with matching flow pairs ---
+	var out strings.Builder
+	if err := plat.WriteTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			ID   uint64 `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	slices := 0
+	flowOut := map[uint64]bool{}
+	flowIn := map[uint64]bool{}
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Cat == "span" && e.Ph == "X":
+			slices++
+		case e.Ph == "s":
+			flowOut[e.ID] = true
+		case e.Ph == "f":
+			flowIn[e.ID] = true
+		}
+	}
+	if slices == 0 {
+		t.Fatal("no span slices in the Chrome export")
+	}
+	if len(flowOut) == 0 {
+		t.Fatal("no causal flow arrows in the Chrome export")
+	}
+	for id := range flowIn {
+		if !flowOut[id] {
+			t.Errorf("flow finish %d has no matching start", id)
+		}
+	}
+	for id := range flowOut {
+		if !flowIn[id] {
+			t.Errorf("flow start %d has no matching finish", id)
+		}
+	}
+
+	// --- SLO engine: the stock objectives evaluate on this workload ----
+	evals := plat.EvaluateSLOs(DefaultSLOs())
+	evaluated := 0
+	for _, ev := range evals {
+		if !ev.Skipped {
+			evaluated++
+			if !ev.Pass {
+				t.Errorf("objective %s failed on a healthy run: %+v", ev.Name, ev)
+			}
+		}
+	}
+	if evaluated == 0 {
+		t.Fatalf("no objective evaluated (all skipped): %+v", evals)
+	}
+
+	// --- audit ledger: the denial is recorded, the chain is tamper-proof
+	recs := plat.AuditRecords()
+	head := plat.AuditHead()
+	var denial bool
+	for _, r := range recs {
+		if r.Class == "gate-denial" {
+			denial = true
+		}
+	}
+	if !denial {
+		t.Fatalf("vetoed write left no gate-denial record: %+v", recs)
+	}
+	if err := VerifyAuditChain(recs, head); err != nil {
+		t.Fatalf("honest ledger failed verification: %v", err)
+	}
+	last := len(recs) - 1
+	rewritten := append([]AuditRecord{}, recs...)
+	rewritten[last].Detail = "benign: nothing happened"
+	if VerifyAuditChain(rewritten, head) == nil {
+		t.Fatal("rewritten ledger passed verification")
+	}
+	rehashed := append([]AuditRecord{}, recs...)
+	rehashed[last].Detail = "benign: nothing happened"
+	rehashed[last].Hash = telemetry.HashRecord(rehashed[last])
+	if VerifyAuditChain(rehashed, head) == nil {
+		t.Fatal("rehashed forgery passed verification against the live head")
+	}
+	if VerifyAuditChain(recs[:last], head) == nil {
+		t.Fatal("truncated ledger passed verification")
+	}
+}

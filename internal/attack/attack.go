@@ -29,6 +29,14 @@ type Outcome struct {
 	// Metrics is the platform's telemetry snapshot after the attack
 	// (filled by RunAllTo; zero for directly constructed outcomes).
 	Metrics telemetry.Snapshot
+
+	// Audit is the security audit ledger accumulated during the attack,
+	// with its head hash and verification verdict (filled by RunAllTo):
+	// the attack's outcome proven from the tamper-evident record rather
+	// than from in-memory state the hypervisor could scrub.
+	Audit     []telemetry.Record
+	AuditHead [32]byte
+	AuditOK   bool
 }
 
 func (o Outcome) String() string {
@@ -283,6 +291,7 @@ func All() []Attack {
 		CodePatch{},
 		Rowhammer{},
 		HypercallFuzz{},
+		LedgerTamper{},
 	}
 }
 
@@ -312,8 +321,12 @@ func RunAllTo(protected bool, traceDir string) ([]Outcome, error) {
 		if traceDir != "" {
 			hub.StartTrace(0)
 		}
+		led := hub.StartLedger()
 		o := a.Run(p)
 		o.Metrics = hub.Reg.Snapshot()
+		o.Audit = led.Records()
+		o.AuditHead = led.Head()
+		o.AuditOK = telemetry.VerifyChain(o.Audit, o.AuditHead) == nil
 		if traceDir != "" {
 			name := filepath.Join(traceDir, fmt.Sprintf("%s.%s.json", a.Name(), o.Config))
 			f, err := os.Create(name)

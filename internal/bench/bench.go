@@ -131,6 +131,18 @@ func CaptureTelemetry(iters int) (telemetry.Snapshot, error) {
 	return p.X.M.Ctl.Telem.Reg.Snapshot(), nil
 }
 
+// SLOReport boots a Fidelius platform, runs one SPEC profile, and
+// evaluates the stock latency objectives against the captured
+// histograms — the pass/fail table benchtab prints next to the paper
+// figures.
+func SLOReport(iters int) ([]telemetry.Evaluation, error) {
+	snap, err := CaptureTelemetry(iters)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.EvaluateSLOs(snap, telemetry.DefaultObjectives()), nil
+}
+
 // Figure5 reproduces the SPEC CPU 2006 overhead figure.
 func Figure5(iters int) ([]FigRow, error) { return runSuite(workload.SPEC(), iters) }
 

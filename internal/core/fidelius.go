@@ -336,6 +336,10 @@ func (f *Fidelius) recordViolation(kind, detail string) {
 	if h.Tracing() {
 		h.EmitDetail(telemetry.KindViolation, 0, 0, 0, 0, 0, kind+": "+detail)
 	}
+	// Every gatekeeper denial also lands in the hash-chained audit
+	// ledger, so an attack's outcome can be proven from the ledger rather
+	// than asserted from in-memory state the hypervisor could scrub.
+	h.Audit("gate-denial", 0, kind+": "+detail)
 }
 
 func (f *Fidelius) violation(kind, detail string) *cpu.ProtectionError {

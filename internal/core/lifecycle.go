@@ -77,6 +77,8 @@ func PrepareGuest(owner *sev.Owner, platformPub *ecdh.PublicKey, kernel, diskPla
 // ACTIVATE installs the key. The hypervisor only ever handles ciphertext.
 func (f *Fidelius) LaunchVM(name string, memPages int, b *GuestBundle) (*xen.Domain, error) {
 	defer f.enterTrusted()()
+	sp := f.hub().OpenScope("launch-vm", 0, 0).Attr("name", name)
+	defer sp.Close()
 	if b.Image.NumPages() > memPages {
 		return nil, fmt.Errorf("core: kernel image (%d pages) exceeds VM memory", b.Image.NumPages())
 	}

@@ -192,6 +192,11 @@ func (c *Controller) Read(a Access, buf []byte) error {
 		if c.Integ != nil && c.Integ.Protected(base.Frame()) {
 			c.charge(cycles.IntegrityCheck)
 			if err := c.Integ.Verify(base, LineSize); err != nil {
+				// A failed tag is physical tampering caught in the act:
+				// ledger it before surfacing the machine-check.
+				if c.Telem.Auditing() {
+					c.Telem.Audit("integrity-fail", c.Telem.VMForASID(uint32(a.ASID)), err.Error())
+				}
 				return err
 			}
 		}

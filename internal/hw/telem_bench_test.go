@@ -27,12 +27,17 @@ func benchController(tb testing.TB, withHub bool) *Controller {
 // readLoop drives the controller through the tight memory-access loop the
 // disabled-path guarantee is stated against: mostly cache-hit plaintext
 // reads, with one uncached encrypted read per iteration to exercise the
-// Tracing() check on the decrypt path.
+// Tracing() check on the decrypt path. Each iteration also opens and
+// closes a span and offers one audit record, so the guard covers the
+// whole disabled flight-recorder surface: with no tracer the span calls
+// are a nil test plus one atomic load returning a nil handle, and with
+// no ledger armed Audit returns after one atomic pointer load.
 func readLoop(tb testing.TB, c *Controller, iters int) {
 	tb.Helper()
 	var buf [LineSize]byte
 	enc := Access{PA: 0, Encrypted: true, ASID: 1}
 	for i := 0; i < iters; i++ {
+		sp := c.Telem.OpenScope("bench-quantum", 1, 1)
 		for l := 0; l < 16; l++ {
 			if err := c.Read(Access{PA: PageSize + PhysAddr(l*LineSize)}, buf[:]); err != nil {
 				tb.Fatal(err)
@@ -42,6 +47,8 @@ func readLoop(tb testing.TB, c *Controller, iters int) {
 		if err := c.Read(enc, buf[:]); err != nil {
 			tb.Fatal(err)
 		}
+		c.Telem.Audit("bench-noop", 1, "disabled-path probe")
+		sp.Close()
 	}
 }
 

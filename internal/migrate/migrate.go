@@ -3,6 +3,7 @@ package migrate
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"fidelius/internal/sev"
@@ -159,11 +160,16 @@ type sender struct {
 // and only the final round stops the vCPU.
 func Send(src Source, conn Conn, cfg Config) (*Stats, error) {
 	s := &sender{src: src, conn: conn, cfg: cfg.withDefaults(), stats: &Stats{}}
+	sp := s.cfg.Hub.OpenScope("migrate-send", 0, 0).Attr("source", src.Name())
+	defer sp.Close()
 	err := s.run()
 	if err != nil {
 		s.abort(err)
 		if s.cfg.Hub != nil {
 			s.cfg.Hub.Reg.Counter("migrate.aborts").Inc()
+			if s.cfg.Hub.Auditing() {
+				s.cfg.Hub.Audit("migrate-abort", 0, err.Error())
+			}
 		}
 	}
 	s.publish()
@@ -270,6 +276,10 @@ func (s *sender) finish() error {
 // snapshot is caught by the dirty log and re-sent, exactly as with
 // per-page production.
 func (s *sender) sendRound(round int, gfns []uint64, live bool) error {
+	sp := s.cfg.Hub.OpenScope("migrate-round", 0, 0).
+		Attr("round", strconv.Itoa(round)).
+		Attr("pages", strconv.Itoa(len(gfns)))
+	defer sp.Close()
 	bs, _ := s.src.(BatchSource)
 	for rest := gfns; len(rest) > 0; {
 		n := len(rest)

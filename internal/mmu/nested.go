@@ -1,6 +1,8 @@
 package mmu
 
 import (
+	"fmt"
+
 	"fidelius/internal/hw"
 	"fidelius/internal/telemetry"
 )
@@ -65,6 +67,15 @@ func (n *Nested) gpaToHPA(gpa uint64, access AccessType) (hw.PhysAddr, PTE, erro
 					h.Emit(telemetry.KindNPTViolation,
 						h.VMForASID(uint32(n.ASID)), uint32(n.ASID),
 						0, gpa, uint64(access))
+				}
+				// A write fault on a present mapping with no dirty log
+				// armed is not lazy population and not dirty tracking:
+				// it is the fault signature of a hypervisor-side remap
+				// or permission downgrade (the SEVered probe pattern),
+				// so it earns a forensic record.
+				if h.Auditing() && pf.Reason == WriteProtected && !n.Dirty.Enabled() {
+					h.Audit("npt-wp-fault", h.VMForASID(uint32(n.ASID)),
+						fmt.Sprintf("write to write-protected gpa %#x with dirty logging off", gpa))
 				}
 			}
 			return 0, 0, &NPTViolation{GPA: gpa, Access: access, Reason: pf.Reason}

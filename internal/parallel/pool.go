@@ -13,6 +13,7 @@ package parallel
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +28,7 @@ type Pool struct {
 
 	jobs    *telemetry.Counter
 	workers *telemetry.Gauge
+	hub     *telemetry.Hub
 }
 
 // New returns a pool of the given width. A width <= 0 picks GOMAXPROCS.
@@ -67,6 +69,16 @@ func (p *Pool) Register(reg *telemetry.Registry) {
 	p.workers = reg.Gauge("pool.workers")
 }
 
+// AttachHub wires the pool to a telemetry hub so every ForEach batch
+// records a causal span (parented under whatever scope dispatched the
+// bulk work — a VM launch, a migration round). Nil hub detaches.
+func (p *Pool) AttachHub(h *telemetry.Hub) {
+	if p == nil {
+		return
+	}
+	p.hub = h
+}
+
 // ForEach runs fn(i) for every i in [0, n), using up to Width goroutines,
 // and returns the error of the lowest failing index (matching what a
 // serial loop that stops at the first failure would report). All n calls
@@ -83,6 +95,10 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	if p != nil {
 		p.jobs.Add(uint64(n))
 		p.workers.Set(int64(width))
+		sp := p.hub.OpenScope("pool-batch", 0, 0).
+			Attr("jobs", strconv.Itoa(n)).
+			Attr("width", strconv.Itoa(width))
+		defer sp.Close()
 	}
 	if width == 1 {
 		var firstErr error

@@ -89,6 +89,11 @@ func (f *Firmware) Attest(nonce []byte, hvMeasurement, integrityRoot [32]byte) (
 		return nil, err
 	}
 	q.Sig = sig
+	if f.auditing() {
+		f.audit("attest-quote", 0,
+			fmt.Sprintf("quote issued: hv measurement %x.., integrity root %x..",
+				hvMeasurement[:4], integrityRoot[:4]))
+	}
 	return q, nil
 }
 

@@ -135,6 +135,7 @@ func NewFirmware(ctl *hw.Controller) *Firmware {
 	}
 	if ctl != nil && ctl.Telem != nil {
 		f.pool.Register(ctl.Telem.Reg)
+		f.pool.AttachHub(ctl.Telem)
 	}
 	return f
 }
@@ -162,6 +163,58 @@ func (f *Firmware) command(name string, h Handle) {
 	t.Reg.Counter("sev.cmd", "cmd", name).Inc()
 	if t.Tracing() {
 		t.EmitDetail(telemetry.KindSEVCommand, 0, 0, cycles.SEVCommand, uint64(h), 0, name)
+		// The command cost was already charged, so the span ends now and
+		// covers the fixed command constant; its parent is whatever scope
+		// is ambient (a launch, a migration round, a quantum).
+		var asid uint32
+		if c, ok := f.ctxs[h]; ok {
+			asid = uint32(c.asid)
+		}
+		end := t.Now()
+		start := end
+		if start >= cycles.SEVCommand {
+			start = end - cycles.SEVCommand
+		}
+		t.CompleteSpan("sev:"+name, t.VMForASID(asid), asid, t.Ambient(), start, end)
+	}
+}
+
+// auditing reports whether the platform ledger is armed, so error paths
+// can skip building detail strings entirely when it is not.
+func (f *Firmware) auditing() bool {
+	return f.ctl != nil && f.ctl.Telem.Auditing()
+}
+
+// audit appends a security record to the platform's audit ledger (no-op
+// when none is armed), resolving the VM from the context's ASID.
+func (f *Firmware) audit(class string, asid hw.ASID, detail string) {
+	if f.ctl == nil {
+		return
+	}
+	t := f.ctl.Telem
+	t.Audit(class, t.VMForASID(uint32(asid)), detail)
+}
+
+// openGuarded is openPacket plus an audit record on failure — a transport
+// packet whose tag does not verify is a migration-stream tampering
+// attempt caught in the act.
+func (f *Firmware) openGuarded(c *Context, pkt Packet) ([]byte, error) {
+	plain, err := openPacket(c.transport, pkt)
+	if err != nil && f.auditing() {
+		f.audit("transport-tag", c.asid, err.Error())
+	}
+	return plain, err
+}
+
+// setState moves a context through its lifecycle and records the
+// transition in the audit ledger: "Insecure Until Proven Updated" showed
+// that unrecorded firmware state is exactly what a rollback hides behind.
+func (f *Firmware) setState(c *Context, to State) {
+	from := c.state
+	c.state = to
+	if from != to && f.auditing() {
+		f.audit("sev-state", c.asid,
+			"handle "+fmt.Sprint(uint32(c.handle))+": "+from.String()+" -> "+to.String())
 	}
 }
 
@@ -193,6 +246,9 @@ func (f *Firmware) PublicKey() (*ecdh.PublicKey, error) {
 
 func (f *Firmware) guard() error {
 	if f.Authorize != nil && !f.Authorize() {
+		if f.auditing() {
+			f.audit("sev-unauthorized", 0, ErrUnauthorized.Error())
+		}
 		return ErrUnauthorized
 	}
 	return nil
@@ -241,7 +297,7 @@ func (f *Firmware) LaunchStart(policy uint32) (Handle, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.state = StateLaunching
+	f.setState(c, StateLaunching)
 	c.policy = policy
 	f.charge(cycles.SEVCommand)
 	f.command("launch-start", c.handle)
@@ -262,7 +318,7 @@ func (f *Firmware) LaunchHelper(h Handle) (Handle, error) {
 	}
 	c.kvek = base.kvek
 	c.cipher = base.cipher
-	c.state = StateRunning
+	f.setState(c, StateRunning)
 	c.policy = base.policy
 	f.charge(cycles.SEVCommand)
 	f.command("launch-helper", c.handle)
@@ -314,7 +370,7 @@ func (f *Firmware) LaunchFinish(h Handle) error {
 	if c.state != StateLaunching {
 		return fmt.Errorf("%w: launch_finish in %v", ErrBadState, c.state)
 	}
-	c.state = StateRunning
+	f.setState(c, StateRunning)
 	f.charge(cycles.SEVCommand)
 	f.command("launch-finish", h)
 	return nil
@@ -334,9 +390,17 @@ func (f *Firmware) Activate(h Handle, asid hw.ASID) error {
 		return fmt.Errorf("sev: asid 0 is reserved for the host key")
 	}
 	if owner, busy := f.active[asid]; busy && owner != h {
+		if f.auditing() {
+			f.audit("asid-reuse", asid,
+				fmt.Sprintf("activate handle %d on asid %d held by handle %d", h, asid, owner))
+		}
 		return fmt.Errorf("%w: asid %d held by handle %d", ErrASIDInUse, asid, owner)
 	}
 	if c.asid != 0 && c.asid != asid {
+		if f.auditing() {
+			f.audit("asid-reuse", c.asid,
+				fmt.Sprintf("rebind of handle %d from asid %d to %d", h, c.asid, asid))
+		}
 		return fmt.Errorf("sev: handle %d already active as asid %d", h, c.asid)
 	}
 	if err := f.ctl.Eng.Install(asid, c.kvek); err != nil {
@@ -410,7 +474,7 @@ func (f *Firmware) SendStart(h Handle, peerPub *ecdh.PublicKey, nonce []byte) (W
 	if err != nil {
 		return WrappedKeys{}, err
 	}
-	c.state = StateSending
+	f.setState(c, StateSending)
 	c.measure = Measurement{}
 	c.seq = 0
 	f.charge(cycles.SEVCommand)
@@ -567,7 +631,7 @@ func (f *Firmware) SendCancel(h Handle) error {
 	c.transport = TransportKeys{}
 	c.measure = Measurement{}
 	c.seq = 0
-	c.state = StateRunning
+	f.setState(c, StateRunning)
 	f.charge(cycles.SEVCommand)
 	f.command("send-cancel", h)
 	return nil
@@ -583,7 +647,7 @@ func (f *Firmware) SendFinish(h Handle) (Measurement, error) {
 	if c.state != StateSending {
 		return Measurement{}, fmt.Errorf("%w: send_finish in %v", ErrBadState, c.state)
 	}
-	c.state = StateSent
+	f.setState(c, StateSent)
 	f.charge(cycles.SEVCommand)
 	f.command("send-finish", h)
 	return c.measure, nil
@@ -609,7 +673,7 @@ func (f *Firmware) ReceiveStart(w WrappedKeys, originPub *ecdh.PublicKey, nonce 
 		return 0, err
 	}
 	c.transport = tk
-	c.state = StateReceiving
+	f.setState(c, StateReceiving)
 	f.charge(cycles.SEVCommand)
 	f.command("receive-start", c.handle)
 	return c.handle, nil
@@ -632,7 +696,7 @@ func (f *Firmware) ReceiveHelperStart(base Handle, w WrappedKeys, originPub *ecd
 	}
 	c := f.ctxs[h]
 	c.transport = tk
-	c.state = StateReceiving
+	f.setState(c, StateReceiving)
 	f.command("receive-helper-start", h)
 	return h, nil
 }
@@ -654,7 +718,7 @@ func (f *Firmware) ReceiveUpdate(h Handle, pfn hw.PFN, pkt Packet) error {
 	if pkt.Seq != c.seq {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadSequence, pkt.Seq, c.seq)
 	}
-	plain, err := openPacket(c.transport, pkt)
+	plain, err := f.openGuarded(c, pkt)
 	if err != nil {
 		return err
 	}
@@ -683,7 +747,7 @@ func (f *Firmware) ReceiveUpdateBuf(h Handle, pa hw.PhysAddr, pkt Packet) error 
 	if pa%hw.BlockSize != 0 || len(pkt.Data)%hw.BlockSize != 0 {
 		return ErrNotAligned
 	}
-	plain, err := openPacket(c.transport, pkt)
+	plain, err := f.openGuarded(c, pkt)
 	if err != nil {
 		return err
 	}
@@ -796,7 +860,7 @@ func (f *Firmware) ReceiveUpdatePages(h Handle, pfns []hw.PFN, pkts []Packet) er
 		if pkts[i].Seq != base+uint64(i) {
 			return fmt.Errorf("%w: got %d, want %d", ErrBadSequence, pkts[i].Seq, base+uint64(i))
 		}
-		plain, err := openPacket(c.transport, pkts[i])
+		plain, err := f.openGuarded(c, pkts[i])
 		if err != nil {
 			return err
 		}
@@ -832,9 +896,13 @@ func (f *Firmware) ReceiveFinish(h Handle, expect Measurement) error {
 		return fmt.Errorf("%w: receive_finish in %v", ErrBadState, c.state)
 	}
 	if c.measure != expect {
+		if f.auditing() {
+			f.audit("measurement-mismatch", c.asid,
+				fmt.Sprintf("receive_finish on handle %d: migrated image does not match sender's Mvm", h))
+		}
 		return ErrBadMeasurement
 	}
-	c.state = StateRunning
+	f.setState(c, StateRunning)
 	f.charge(cycles.SEVCommand)
 	f.command("receive-finish", h)
 	return nil

@@ -25,6 +25,8 @@ type chromeEvent struct {
 	PID  uint32         `json:"pid"`
 	TID  uint32         `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   uint64         `json:"id,omitempty"` // flow-event binding ID
+	BP   string         `json:"bp,omitempty"` // flow binding point ("e" = enclosing slice)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -38,6 +40,15 @@ type chromeTrace struct {
 // vmNames), each ASID a thread, spans carry their modelled cycle duration,
 // and everything else is an instant event.
 func WriteChromeTrace(w io.Writer, events []Event, vmNames map[uint32]string) error {
+	return WriteChromeTraceSpans(w, events, nil, vmNames)
+}
+
+// WriteChromeTraceSpans is WriteChromeTrace plus the causal span tree:
+// each Span becomes a complete ("X") event carrying its span/parent IDs
+// and attributes, and each parent→child edge whose parent is present in
+// the capture becomes a flow-event pair ("s" on the parent's track, "f"
+// on the child's), which trace viewers draw as causal arrows.
+func WriteChromeTraceSpans(w io.Writer, events []Event, spans []Span, vmNames map[uint32]string) error {
 	sorted := make([]Event, len(events))
 	copy(sorted, events)
 	sort.SliceStable(sorted, func(i, j int) bool {
@@ -45,6 +56,14 @@ func WriteChromeTrace(w io.Writer, events []Event, vmNames map[uint32]string) er
 			return sorted[i].TS < sorted[j].TS
 		}
 		return sorted[i].Seq < sorted[j].Seq
+	})
+	sspans := make([]Span, len(spans))
+	copy(sspans, spans)
+	sort.SliceStable(sspans, func(i, j int) bool {
+		if sspans[i].Start != sspans[j].Start {
+			return sspans[i].Start < sspans[j].Start
+		}
+		return sspans[i].ID < sspans[j].ID
 	})
 
 	type track struct{ pid, tid uint32 }
@@ -58,16 +77,22 @@ func WriteChromeTrace(w io.Writer, events []Event, vmNames map[uint32]string) er
 	// them.
 	var pids []uint32
 	tids := map[uint32][]uint32{}
-	for _, e := range sorted {
-		if !seenPID[e.VM] {
-			seenPID[e.VM] = true
-			pids = append(pids, e.VM)
+	note := func(vm, asid uint32) {
+		if !seenPID[vm] {
+			seenPID[vm] = true
+			pids = append(pids, vm)
 		}
-		tr := track{e.VM, e.ASID}
+		tr := track{vm, asid}
 		if !seenTID[tr] {
 			seenTID[tr] = true
-			tids[e.VM] = append(tids[e.VM], e.ASID)
+			tids[vm] = append(tids[vm], asid)
 		}
+	}
+	for _, e := range sorted {
+		note(e.VM, e.ASID)
+	}
+	for _, s := range sspans {
+		note(s.VM, s.ASID)
 	}
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 	for _, pid := range pids {
@@ -123,13 +148,59 @@ func WriteChromeTrace(w io.Writer, events []Event, vmNames map[uint32]string) er
 		out = append(out, ce)
 	}
 
+	byID := make(map[uint64]*Span, len(sspans))
+	for i := range sspans {
+		byID[sspans[i].ID] = &sspans[i]
+	}
+	for i := range sspans {
+		s := &sspans[i]
+		dur := float64(s.End-s.Start) / CyclesPerMicrosecond
+		if s.End < s.Start {
+			dur = 0
+		}
+		args := map[string]any{"span": s.ID, "parent": s.Parent, "cycles_ts": s.Start}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		out = append(out, chromeEvent{
+			Name: s.Name, Cat: "span", Ph: "X",
+			TS: float64(s.Start) / CyclesPerMicrosecond, Dur: &dur,
+			PID: s.VM, TID: s.ASID, Args: args,
+		})
+		p, ok := byID[s.Parent]
+		if s.Parent == 0 || !ok {
+			continue
+		}
+		// Causal arrow parent→child. The flow-start timestamp must fall
+		// inside the parent slice for viewers to bind it, so clamp the
+		// child's start into the parent interval.
+		ts := s.Start
+		if ts < p.Start {
+			ts = p.Start
+		}
+		if ts > p.End {
+			ts = p.End
+		}
+		out = append(out,
+			chromeEvent{
+				Name: "causal", Cat: "flow", Ph: "s", ID: s.ID,
+				TS: float64(ts) / CyclesPerMicrosecond, PID: p.VM, TID: p.ASID,
+			},
+			chromeEvent{
+				Name: "causal", Cat: "flow", Ph: "f", BP: "e", ID: s.ID,
+				TS: float64(s.Start) / CyclesPerMicrosecond, PID: s.VM, TID: s.ASID,
+			},
+		)
+	}
+
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ns"})
 }
 
-// WriteChromeTrace exports the hub's current trace buffer.
+// WriteChromeTrace exports the hub's current trace buffer, spans included.
 func (h *Hub) WriteChromeTrace(w io.Writer) error {
-	return WriteChromeTrace(w, h.Trace().Events(), h.VMNames())
+	t := h.Trace()
+	return WriteChromeTraceSpans(w, t.Events(), t.Spans(), h.VMNames())
 }
 
 // WriteJSON renders the snapshot as one JSON object (the expvar-style

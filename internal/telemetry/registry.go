@@ -129,6 +129,87 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation inside the bucket that holds the q*Count-th observation,
+// Prometheus-style: bucket i spans (Bounds[i-1], Bounds[i]] with the
+// first bucket starting at 0. An empty snapshot reports 0. When the rank
+// falls in the overflow bucket there is no upper bound to interpolate
+// toward, so the estimate saturates at the last finite bound — a
+// deliberate underestimate that keeps SLO checks against "value <= max"
+// conservative rather than inventing a tail.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: saturate at the last finite bound.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		hi := float64(s.Bounds[i])
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// FracAtMost estimates the fraction of observations <= v, interpolating
+// linearly inside the bucket that straddles v. Values beyond the last
+// finite bound count the overflow bucket as entirely above v (the
+// conservative direction for an error-budget check). Empty snapshots
+// report 1 (vacuously within any bound).
+func (s HistogramSnapshot) FracAtMost(v float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 1
+	}
+	var atMost float64
+	for i, c := range s.Buckets {
+		if i >= len(s.Bounds) {
+			break // overflow: all above any finite v
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		hi := float64(s.Bounds[i])
+		switch {
+		case v >= hi:
+			atMost += float64(c)
+		case v > lo:
+			atMost += float64(c) * (v - lo) / (hi - lo)
+		}
+	}
+	return atMost / float64(s.Count)
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Bounds:  append([]uint64{}, h.bounds...),

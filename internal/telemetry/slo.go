@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// SLO engine: declarative latency/throughput objectives evaluated against
+// the registry's labelled histograms. An Objective states "quantile q of
+// metric M must be <= Max, and at least Target of all observations must
+// be within Max"; evaluation produces a pass/fail verdict plus the
+// burn rate — how fast the error budget (1-Target) is being consumed,
+// SRE-style: badFraction / (1-Target), where 1.0 means exactly on
+// budget and anything above means the objective will be violated if the
+// workload continues. Objectives that burn emit KindSLOAlert events and
+// bump the slo.alerts counter so alerts land in the same trace stream as
+// the spans that explain them.
+
+// Objective is one declarative service-level objective over a histogram.
+type Objective struct {
+	Name     string  `json:"name"`     // display name, e.g. "vmexit-p99"
+	Metric   string  `json:"metric"`   // registry histogram name (canonical, incl. labels)
+	Quantile float64 `json:"quantile"` // e.g. 0.99
+	Max      float64 `json:"max"`      // bound on the quantile value, in the metric's unit
+	Target   float64 `json:"target"`   // required fraction of observations <= Max (0 = use Quantile)
+	MinCount uint64  `json:"min_count"`
+}
+
+// Evaluation is the verdict for one objective against one snapshot.
+type Evaluation struct {
+	Objective
+	Count    uint64  `json:"count"`
+	Value    float64 `json:"value"`     // measured quantile
+	BadFrac  float64 `json:"bad_frac"`  // fraction of observations above Max
+	BurnRate float64 `json:"burn_rate"` // BadFrac / (1-Target); 0 when Target is 0 or 1
+	Pass     bool    `json:"pass"`
+	Skipped  bool    `json:"skipped"` // metric absent or below MinCount
+}
+
+// DefaultObjectives are the platform's stock latency objectives over the
+// per-quantum VMEXIT round-trip histogram: the median must stay within a
+// cheap exit (gates plus dispatch), and the p99 tail within a full
+// page-fault service. The bounds are deliberately loose — they are the
+// "is the platform grossly regressing" guardrail, not a benchmark.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Name: "vmexit-p50", Metric: "vmexit.cycles", Quantile: 0.50, Max: 262144, Target: 0.50, MinCount: 8},
+		{Name: "vmexit-p99", Metric: "vmexit.cycles", Quantile: 0.99, Max: 4194304, Target: 0.99, MinCount: 8},
+	}
+}
+
+// EvaluateSLOs checks every objective against the snapshot.
+func EvaluateSLOs(s Snapshot, objs []Objective) []Evaluation {
+	out := make([]Evaluation, 0, len(objs))
+	for _, o := range objs {
+		ev := Evaluation{Objective: o}
+		h, ok := s.Histograms[o.Metric]
+		if !ok || h.Count < o.MinCount {
+			ev.Skipped = true
+			ev.Count = h.Count
+			out = append(out, ev)
+			continue
+		}
+		ev.Count = h.Count
+		ev.Value = h.Quantile(o.Quantile)
+		ev.BadFrac = 1 - h.FracAtMost(o.Max)
+		if ev.BadFrac < 0 {
+			ev.BadFrac = 0
+		}
+		if o.Target > 0 && o.Target < 1 {
+			ev.BurnRate = ev.BadFrac / (1 - o.Target)
+			ev.Pass = ev.BurnRate <= 1
+		} else {
+			ev.Pass = ev.Value <= o.Max
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// EvaluateSLOs evaluates the objectives against the hub's live registry
+// and emits a burn-rate alert (KindSLOAlert event + slo.alerts counter)
+// for every failing objective.
+func (h *Hub) EvaluateSLOs(objs []Objective) []Evaluation {
+	if h == nil {
+		return nil
+	}
+	evals := EvaluateSLOs(h.Reg.Snapshot(), objs)
+	for _, ev := range evals {
+		if ev.Skipped || ev.Pass {
+			continue
+		}
+		h.M.SLOAlerts.Inc()
+		if h.tracer.Load() != nil {
+			h.EmitDetail(KindSLOAlert, 0, 0, 0, uint64(ev.BurnRate*1000), 0, ev.Name)
+		}
+		if h.Auditing() {
+			h.Audit("slo-burn", 0, ev.Name+" burn rate "+
+				strconv.FormatFloat(ev.BurnRate, 'f', 2, 64)+" on "+ev.Metric)
+		}
+	}
+	return evals
+}
+
+// WriteSLOTable renders evaluations as a human-readable pass/fail table,
+// sorted by objective name.
+func WriteSLOTable(w io.Writer, evals []Evaluation) error {
+	sorted := append([]Evaluation{}, evals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	if _, err := fmt.Fprintf(w, "%-14s %-22s %5s %12s %12s %8s %8s  %s\n",
+		"objective", "metric", "q", "value", "max", "burn", "count", "verdict"); err != nil {
+		return err
+	}
+	for _, ev := range sorted {
+		verdict := "PASS"
+		switch {
+		case ev.Skipped:
+			verdict = "SKIP (insufficient samples)"
+		case !ev.Pass:
+			verdict = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %-22s %5.2f %12.0f %12.0f %8.2f %8d  %s\n",
+			ev.Name, ev.Metric, ev.Quantile, ev.Value, ev.Max, ev.BurnRate, ev.Count, verdict); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -52,6 +52,8 @@ const (
 	KindViolation          // policy violation recorded (detail = kind: detail)
 	KindMigrateRound       // one pre-copy round shipped (arg1 = round, arg2 = pages)
 	KindMigrateDone        // migration finished (arg1 = rounds, arg2 = downtime cycles)
+	KindAudit              // security audit record appended (detail = class: detail)
+	KindSLOAlert           // SLO burn-rate alert (detail = objective, arg1 = burn rate x1000)
 
 	numKinds
 )
@@ -79,6 +81,8 @@ var kindNames = [numKinds]string{
 	KindViolation:     "violation",
 	KindMigrateRound:  "migrate-round",
 	KindMigrateDone:   "migrate-done",
+	KindAudit:         "audit",
+	KindSLOAlert:      "slo-alert",
 }
 
 var kindCats = [numKinds]string{
@@ -104,6 +108,8 @@ var kindCats = [numKinds]string{
 	KindViolation:     "policy",
 	KindMigrateRound:  "migrate",
 	KindMigrateDone:   "migrate",
+	KindAudit:         "audit",
+	KindSLOAlert:      "slo",
 }
 
 // String reports the event name used in exports.
@@ -158,6 +164,8 @@ type Metrics struct {
 	BlkSectors          *Counter // blk.sectors
 	EvtSignals          *Counter // evt.signals
 	IOCryptSectors      *Counter // io.crypt_sectors
+	AuditRecords        *Counter // audit.records
+	SLOAlerts           *Counter // slo.alerts
 
 	ExitCycles    *Histogram // vmexit.cycles: per-quantum round-trip cost
 	BlkReqSectors *Histogram // blk.request_sectors: request size distribution
@@ -183,6 +191,8 @@ func newMetrics(r *Registry) Metrics {
 		BlkSectors:     r.Counter("blk.sectors"),
 		EvtSignals:     r.Counter("evt.signals"),
 		IOCryptSectors: r.Counter("io.crypt_sectors"),
+		AuditRecords:   r.Counter("audit.records"),
+		SLOAlerts:      r.Counter("slo.alerts"),
 		ExitCycles:     r.Histogram("vmexit.cycles", CycleBuckets),
 		BlkReqSectors:  r.Histogram("blk.request_sectors", []uint64{1, 2, 4, 8, 16, 32, 64, 128}),
 	}
@@ -197,6 +207,12 @@ type Hub struct {
 	Reg    *Registry
 	M      Metrics
 	tracer atomic.Pointer[Tracer]
+	ledger atomic.Pointer[Ledger]
+
+	// spanSeq allocates span IDs; ambient is the current-span register
+	// used by OpenScope to build parent links (see span.go).
+	spanSeq atomic.Uint64
+	ambient atomic.Uint64
 
 	mu      sync.Mutex
 	vmNames map[uint32]string
@@ -310,6 +326,60 @@ func (h *Hub) VMNames() map[uint32]string {
 // length in cycles (0 for an instant event).
 func (h *Hub) Emit(k Kind, vm, asid uint32, dur, arg1, arg2 uint64) {
 	h.EmitDetail(k, vm, asid, dur, arg1, arg2, "")
+}
+
+// StartLedger attaches a fresh hash-chained audit ledger (replacing any
+// current one) and returns it.
+func (h *Hub) StartLedger() *Ledger {
+	if h == nil {
+		return nil
+	}
+	l := NewLedger(h.now)
+	h.ledger.Store(l)
+	return l
+}
+
+// StopLedger detaches and returns the current ledger (nil if none).
+func (h *Hub) StopLedger() *Ledger {
+	if h == nil {
+		return nil
+	}
+	return h.ledger.Swap(nil)
+}
+
+// Ledger returns the attached audit ledger without detaching it.
+func (h *Hub) Ledger() *Ledger {
+	if h == nil {
+		return nil
+	}
+	return h.ledger.Load()
+}
+
+// Auditing reports whether an audit ledger is attached — the disabled-path
+// fast check (a nil test plus one atomic load), so call sites that would
+// build a detail string can skip the work entirely.
+func (h *Hub) Auditing() bool {
+	return h != nil && h.ledger.Load() != nil
+}
+
+// Audit appends one security-relevant record (a gatekeeper denial, an
+// integrity-tag failure, an NPT remap or ASID-reuse detection, an
+// attestation state transition) to the hash-chained ledger. No-op when no
+// ledger is attached; when tracing is also on, the record is mirrored as
+// a KindAudit event so the timeline and the ledger cross-reference.
+func (h *Hub) Audit(class string, vm uint32, detail string) {
+	if h == nil {
+		return
+	}
+	l := h.ledger.Load()
+	if l == nil {
+		return
+	}
+	l.Append(class, vm, detail)
+	h.M.AuditRecords.Inc()
+	if h.tracer.Load() != nil {
+		h.EmitDetail(KindAudit, vm, 0, 0, 0, 0, class+": "+detail)
+	}
 }
 
 // EmitDetail is Emit with an attached detail string.

@@ -16,15 +16,21 @@ type Tracer struct {
 	mu   sync.Mutex
 	buf  []Event
 	next uint64 // total events ever recorded; next % cap is the write slot
+
+	// Spans live in their own ring so a flood of fine-grained events
+	// cannot evict the causal skeleton (there are far fewer spans than
+	// events). Same overwrite-oldest policy.
+	sbuf  []Span
+	snext uint64
 }
 
 // NewTracer returns a tracer holding at most capacity events
-// (DefaultTraceCap when capacity <= 0).
+// (DefaultTraceCap when capacity <= 0) and as many spans.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCap
 	}
-	return &Tracer{buf: make([]Event, capacity)}
+	return &Tracer{buf: make([]Event, capacity), sbuf: make([]Span, capacity)}
 }
 
 func (t *Tracer) record(e Event) {
@@ -32,6 +38,13 @@ func (t *Tracer) record(e Event) {
 	e.Seq = t.next
 	t.buf[t.next%uint64(len(t.buf))] = e
 	t.next++
+	t.mu.Unlock()
+}
+
+func (t *Tracer) recordSpan(s Span) {
+	t.mu.Lock()
+	t.sbuf[t.snext%uint64(len(t.sbuf))] = s
+	t.snext++
 	t.mu.Unlock()
 }
 
@@ -65,6 +78,38 @@ func (t *Tracer) Dropped() uint64 {
 		return 0
 	}
 	return t.next - uint64(len(t.buf))
+}
+
+// SpanTotal reports how many spans were ever recorded, including
+// overwritten ones.
+func (t *Tracer) SpanTotal() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snext
+}
+
+// Spans returns the retained finished spans, oldest-first (close order).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.snext
+	capacity := uint64(len(t.sbuf))
+	if n <= capacity {
+		out := make([]Span, n)
+		copy(out, t.sbuf[:n])
+		return out
+	}
+	out := make([]Span, 0, capacity)
+	start := n % capacity
+	out = append(out, t.sbuf[start:]...)
+	out = append(out, t.sbuf[:start]...)
+	return out
 }
 
 // Events returns the retained events oldest-first.

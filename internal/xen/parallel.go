@@ -2,6 +2,7 @@ package xen
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"fidelius/internal/cpu"
@@ -32,13 +33,17 @@ import (
 // quantum. The PreVMRun/OnVMExit boundary hooks — where Fidelius shadows
 // and verifies the VMCB — still run, under the lock, for every quantum.
 func (x *Xen) ScheduleParallel(doms []*Domain, width int) map[DomID]error {
+	sp := x.M.Ctl.Telem.OpenScope("schedule-parallel", 0, 0).
+		Attr("domains", strconv.Itoa(len(doms)))
+	defer sp.Close()
 	errs := make(map[DomID]error)
 	var emu sync.Mutex
 	pool := parallel.New(width)
 	pool.Register(x.M.Ctl.Telem.Reg)
+	pool.AttachHub(x.M.Ctl.Telem)
 	_ = pool.ForEach(len(doms), func(i int) error {
 		d := doms[i]
-		if err := x.runDomain(d); err != nil {
+		if err := x.runDomain(d, sp.ID()); err != nil {
 			emu.Lock()
 			errs[d.ID] = err
 			emu.Unlock()
@@ -49,7 +54,10 @@ func (x *Xen) ScheduleParallel(doms []*Domain, width int) map[DomID]error {
 }
 
 // runDomain drives one domain to completion on a freshly onlined core.
-func (x *Xen) runDomain(d *Domain) error {
+// sched is the scheduler session span every quantum parents under —
+// runner goroutines pass it explicitly because the ambient register
+// cannot attribute concurrent quanta.
+func (x *Xen) runDomain(d *Domain, sched uint64) error {
 	v := d.vcpu
 	if v == nil {
 		return fmt.Errorf("xen: domain %d not started", d.ID)
@@ -65,7 +73,7 @@ func (x *Xen) runDomain(d *Domain) error {
 	v.ctl = core.Ctl
 	defer func() { v.ctl = x.M.Ctl }()
 	for {
-		done, err := x.runQuantum(d, core)
+		done, err := x.runQuantum(d, core, sched)
 		if done {
 			return err
 		}
@@ -76,25 +84,34 @@ func (x *Xen) runDomain(d *Domain) error {
 // one VMEXIT through the interposer boundary hooks, and dispatch it. The
 // hypervisor lock is dropped while the guest runs — that window is where
 // domains overlap.
-func (x *Xen) runQuantum(d *Domain, core *cpu.CPU) (done bool, err error) {
+func (x *Xen) runQuantum(d *Domain, core *cpu.CPU, sched uint64) (done bool, err error) {
 	v := d.vcpu
 	ctl := core.Ctl
 	start := ctl.Cycles.Total()
+	// Explicit parent: concurrent quanta cannot rely on the ambient
+	// register across goroutines. While the big hypervisor lock is held
+	// the register IS pinned to this quantum, so host-side work (gates,
+	// firmware commands, NPT updates) still nests correctly.
+	sp := ctl.Telem.OpenSpan("quantum", uint32(d.ID), uint32(d.ASID), sched)
 	defer func() {
 		spent := ctl.Cycles.Sub(start)
 		x.mu.Lock()
 		x.CycleAccount[d.ID] += spent
 		x.mu.Unlock()
 		ctl.Telem.M.ExitCycles.Observe(spent)
+		sp.Close()
 	}()
 
 	x.mu.Lock()
+	prevAmb := ctl.Telem.SetAmbient(sp.ID())
 	if err := x.Interpose.PreVMRun(d, d.VMCBPA()); err != nil {
+		ctl.Telem.SetAmbient(prevAmb)
 		x.mu.Unlock()
 		return true, fmt.Errorf("xen: entry to %s vetoed: %w", d.Name, err)
 	}
 	vmcb, err := cpu.LoadVMCB(x.M.Ctl, d.VMCBPA())
 	if err != nil {
+		ctl.Telem.SetAmbient(prevAmb)
 		x.mu.Unlock()
 		return true, err
 	}
@@ -107,6 +124,7 @@ func (x *Xen) runQuantum(d *Domain, core *cpu.CPU) (done bool, err error) {
 			cycles.VMEntry, uint64(d.VMCBPA()), 0)
 	}
 	ctl.Cycles.Charge(cycles.VMEntry)
+	ctl.Telem.SetAmbient(prevAmb)
 	x.mu.Unlock()
 
 	// Guest quantum: the only unlocked window. The vCPU goroutine runs
@@ -123,6 +141,8 @@ func (x *Xen) runQuantum(d *Domain, core *cpu.CPU) (done bool, err error) {
 
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	prevAmb = ctl.Telem.SetAmbient(sp.ID())
+	defer ctl.Telem.SetAmbient(prevAmb)
 	if ev.done {
 		v.halted = true
 		v.err = ev.err

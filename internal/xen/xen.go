@@ -95,10 +95,12 @@ func (x *Xen) RunOnce(d *Domain) (done bool, err error) {
 		return true, v.err
 	}
 	start := x.M.Ctl.Cycles.Total()
+	sp := x.M.Ctl.Telem.OpenScope("quantum", uint32(d.ID), uint32(d.ASID))
 	defer func() {
 		spent := x.M.Ctl.Cycles.Sub(start)
 		x.CycleAccount[d.ID] += spent
 		x.M.Ctl.Telem.M.ExitCycles.Observe(spent)
+		sp.Close()
 	}()
 	if err := x.Interpose.PreVMRun(d, d.VMCBPA()); err != nil {
 		return true, fmt.Errorf("xen: entry to %s vetoed: %w", d.Name, err)
@@ -124,6 +126,8 @@ func (x *Xen) RunOnce(d *Domain) (done bool, err error) {
 // dispatching every VMEXIT through the interposer boundary hooks and the
 // hypervisor's handlers. It returns the guest function's error.
 func (x *Xen) Run(d *Domain) error {
+	sp := x.M.Ctl.Telem.OpenScope("run", uint32(d.ID), uint32(d.ASID))
+	defer sp.Close()
 	for {
 		done, err := x.RunOnce(d)
 		if done {
@@ -137,6 +141,8 @@ func (x *Xen) Run(d *Domain) error {
 // service, which Fidelius deliberately leaves in its hands (Section 3.1).
 // It returns the first error of each domain, keyed by ID.
 func (x *Xen) Schedule(doms []*Domain) map[DomID]error {
+	sp := x.M.Ctl.Telem.OpenScope("schedule", 0, 0)
+	defer sp.Close()
 	errs := make(map[DomID]error)
 	pending := append([]*Domain{}, doms...)
 	for len(pending) > 0 {
@@ -175,7 +181,11 @@ func (x *Xen) handleExit(d *Domain) error {
 	case cpu.ExitNPF:
 		if err := x.handleNPF(d, vmcb.ExitInfo2, mmu.AccessType(vmcb.ExitInfo1)); err != nil {
 			// Unresolvable (or policy-vetoed) fault: inject it into
-			// the guest rather than killing the platform.
+			// the guest rather than killing the platform. Either way it
+			// is a security-relevant decision worth a forensic record.
+			if h := x.M.Ctl.Telem; h.Auditing() {
+				h.Audit("npf-unresolved", uint32(d.ID), err.Error())
+			}
 			d.pendingFault = true
 		}
 	case cpu.ExitHLT:
