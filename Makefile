@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke benchdiff vet fmt check fuzz stress migrate trace examples tables attacks xsa demo clean
+.PHONY: all build test race bench benchsmoke benchdiff vet fmt check fuzz stress migrate trace examples tables attacks xsa demo serve clean
 
 all: build test
 
 check: build vet test race stress fuzz benchsmoke
 	$(GO) run ./examples/migration
+	$(GO) run ./cmd/fidelius-serve -tenants 2 -clients 16 -duration 100 -tamper 1
 
 build:
 	$(GO) build ./...
@@ -42,7 +43,7 @@ migrate:
 
 # Full benchmark run, captured as a JSON artifact for regression diffing.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_5.json
+	$(GO) test -run '^$$' -bench=. -benchmem . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_7.json
 
 # One-iteration pass over every benchmark: catches bit-rot in the
 # benchmark harness without paying for a full measurement run.
@@ -52,8 +53,8 @@ benchsmoke:
 # Regression gate between two captured benchmark artifacts: fails when
 # any ns/op delta exceeds the threshold percentage, e.g.
 # `make benchdiff BENCH_OLD=BENCH_4.json BENCH_NEW=BENCH_5.json`.
-BENCH_OLD ?= BENCH_4.json
-BENCH_NEW ?= BENCH_5.json
+BENCH_OLD ?= BENCH_5.json
+BENCH_NEW ?= BENCH_7.json
 BENCH_THRESHOLD ?= 10
 benchdiff:
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
@@ -82,6 +83,11 @@ xsa:
 
 demo:
 	$(GO) run ./cmd/fidelius-demo
+
+# Multi-tenant KV serving scenario: 8 tenant VMs, 1024 client sessions,
+# open-loop load, attestation-gated admission, per-tenant SLO table.
+serve:
+	$(GO) run ./cmd/fidelius-serve
 
 trace:
 	$(GO) run ./cmd/fidelius-demo -trace fidelius-trace.json -metrics

@@ -10,9 +10,14 @@
 //	go test -bench=. -benchmem . | benchjson -o BENCH_4.json
 //	benchjson -diff BENCH_4.json BENCH_5.json -threshold 10
 //
-// -diff compares two reports benchmark-by-benchmark (ns/op and allocs/op
-// deltas) and exits 1 when any ns/op regression exceeds the threshold
-// percentage — the CI regression gate.
+// -diff compares two reports benchmark-by-benchmark and exits 1 when a
+// regression exceeds the threshold percentage — the CI regression gate.
+// Two metric classes gate independently: deterministic simulated costs
+// (custom units ending in "cycles", which are reproducible run-to-run)
+// always gate, while wall-clock ns/op gates only when both artifacts
+// were captured in the same environment (same Go version, CPU, core
+// count). Cross-environment ns/op deltas are still printed, but flagged
+// as ungated noise rather than regressions.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -116,8 +122,36 @@ type Delta struct {
 	OldAllocs float64
 	NewAllocs float64
 	AllocsPct float64
-	Missing   bool // present in old, absent in new
-	Added     bool // absent in old, present in new
+	Sim       []SimDelta // deterministic cycle-unit metrics present in both
+	Missing   bool       // present in old, absent in new
+	Added     bool       // absent in old, present in new
+}
+
+// SimDelta is an old-vs-new comparison of one deterministic simulated
+// metric (a custom unit ending in "cycles"). These come from the cycle
+// model, not the host clock, so any nonzero delta is a real behavioral
+// change, reproducible across machines.
+type SimDelta struct {
+	Unit string
+	Old  float64
+	New  float64
+	Pct  float64
+}
+
+// simUnit reports whether a metric unit is a deterministic simulated
+// cost where lower is better: "cycles", "downtime-cycles", "p99-cycles"
+// and the like. Throughput-style units ("ops/Mcycle") do not match.
+func simUnit(unit string) bool {
+	return strings.HasSuffix(unit, "cycles")
+}
+
+// sameEnv reports whether two artifacts were captured in comparable
+// environments, making wall-clock ns/op deltas meaningful. Artifacts
+// from before environment stamping (empty GoVersion) never compare.
+func sameEnv(a, b Report) bool {
+	return a.GoVersion != "" && a.GoVersion == b.GoVersion &&
+		a.CPU == b.CPU && a.Goos == b.Goos && a.Goarch == b.Goarch &&
+		a.GOMAXPROCS == b.GOMAXPROCS && a.NumCPU == b.NumCPU
 }
 
 func pct(oldV, newV float64) float64 {
@@ -153,6 +187,17 @@ func diffReports(oldRep, newRep Report) []Delta {
 		d.NewAllocs = nb.Metrics["allocs/op"]
 		d.NsPct = pct(d.OldNs, d.NewNs)
 		d.AllocsPct = pct(d.OldAllocs, d.NewAllocs)
+		for unit, oldV := range ob.Metrics {
+			if !simUnit(unit) {
+				continue
+			}
+			newV, have := nb.Metrics[unit]
+			if !have {
+				continue
+			}
+			d.Sim = append(d.Sim, SimDelta{Unit: unit, Old: oldV, New: newV, Pct: pct(oldV, newV)})
+		}
+		sort.Slice(d.Sim, func(i, j int) bool { return d.Sim[i].Unit < d.Sim[j].Unit })
 		out = append(out, d)
 	}
 	for _, nb := range newRep.Benchmarks {
@@ -168,9 +213,13 @@ func diffReports(oldRep, newRep Report) []Delta {
 	return out
 }
 
-// writeDiff renders the comparison table and reports whether any ns/op
-// regression exceeds threshold percent.
-func writeDiff(w io.Writer, deltas []Delta, threshold float64) bool {
+// writeDiff renders the comparison table and reports whether any gated
+// regression exceeds threshold percent. Deterministic cycle metrics
+// always gate; wall-clock ns/op gates only when gateWall is true (same
+// capture environment on both sides). Nonzero cycle deltas are printed
+// under their benchmark's row — the simulation is deterministic, so any
+// movement there is a real behavioral change.
+func writeDiff(w io.Writer, deltas []Delta, threshold float64, gateWall bool) bool {
 	regressed := false
 	fmt.Fprintf(w, "%-56s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ns %", "allocs %")
 	for _, d := range deltas {
@@ -182,11 +231,26 @@ func writeDiff(w io.Writer, deltas []Delta, threshold float64) bool {
 		default:
 			flag := ""
 			if d.NsPct > threshold {
-				flag = "  REGRESSION"
-				regressed = true
+				if gateWall {
+					flag = "  REGRESSION"
+					regressed = true
+				} else {
+					flag = "  (wall-clock, not gated)"
+				}
 			}
 			fmt.Fprintf(w, "%-56s %14.1f %14.1f %+7.1f%% %+9.1f%%%s\n",
 				d.Name, d.OldNs, d.NewNs, d.NsPct, d.AllocsPct, flag)
+			for _, s := range d.Sim {
+				if s.Pct == 0 {
+					continue
+				}
+				flag := ""
+				if s.Pct > threshold {
+					flag = "  REGRESSION"
+					regressed = true
+				}
+				fmt.Fprintf(w, "    %-20s %24.0f %14.0f %+7.1f%%%s\n", s.Unit, s.Old, s.New, s.Pct, flag)
+			}
 		}
 	}
 	return regressed
@@ -219,8 +283,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if writeDiff(os.Stdout, diffReports(oldRep, newRep), *threshold) {
-			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression over %.1f%% detected\n", *threshold)
+		gateWall := sameEnv(oldRep, newRep)
+		if !gateWall {
+			fmt.Fprintln(os.Stderr, "benchjson: capture environments differ; ns/op deltas reported but not gated (simulated cycle metrics still gate)")
+		}
+		if writeDiff(os.Stdout, diffReports(oldRep, newRep), *threshold, gateWall) {
+			fmt.Fprintf(os.Stderr, "benchjson: regression over %.1f%% detected\n", *threshold)
 			os.Exit(1)
 		}
 		return

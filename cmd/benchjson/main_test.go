@@ -76,14 +76,68 @@ func TestDiffReports(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	if regressed := writeDiff(&sb, deltas, 10); !regressed {
+	if regressed := writeDiff(&sb, deltas, 10, true); !regressed {
 		t.Error("25%% ns/op regression over a 10%% threshold must trip the gate")
 	}
 	if !strings.Contains(sb.String(), "REGRESSION") {
 		t.Error("diff table should flag the regression")
 	}
 	sb.Reset()
-	if regressed := writeDiff(&sb, deltas, 30); regressed {
+	if regressed := writeDiff(&sb, deltas, 30, true); regressed {
 		t.Error("25%% regression under a 30%% threshold must pass")
+	}
+}
+
+func TestDiffWallClockUngatedAcrossEnvironments(t *testing.T) {
+	oldRep := mkReport(map[string]float64{"BenchA": 100}, map[string]float64{"BenchA": 2})
+	newRep := mkReport(map[string]float64{"BenchA": 200}, map[string]float64{"BenchA": 2})
+	deltas := diffReports(oldRep, newRep)
+
+	var sb strings.Builder
+	if regressed := writeDiff(&sb, deltas, 10, false); regressed {
+		t.Error("ns/op regression must not gate when capture environments differ")
+	}
+	if !strings.Contains(sb.String(), "not gated") {
+		t.Error("ungated wall-clock delta should still be flagged in the table")
+	}
+}
+
+func TestDiffSimulatedCycleMetricsAlwaysGate(t *testing.T) {
+	mk := func(cycles float64) Report {
+		return Report{Benchmarks: []Result{{
+			Name:       "BenchSim",
+			Iterations: 1,
+			Metrics:    map[string]float64{"ns/op": 100, "downtime-cycles": cycles, "ops/Mcycle": 5},
+		}}}
+	}
+	deltas := diffReports(mk(1000), mk(1500))
+	if len(deltas) != 1 || len(deltas[0].Sim) != 1 {
+		t.Fatalf("want one sim delta (ops/Mcycle excluded), got %+v", deltas)
+	}
+	if d := deltas[0].Sim[0]; d.Unit != "downtime-cycles" || d.Pct < 49.9 || d.Pct > 50.1 {
+		t.Errorf("sim delta = %+v, want downtime-cycles +50%%", d)
+	}
+
+	var sb strings.Builder
+	if regressed := writeDiff(&sb, deltas, 10, false); !regressed {
+		t.Error("+50%% downtime-cycles must gate even across environments")
+	}
+	if !strings.Contains(sb.String(), "downtime-cycles") {
+		t.Error("diff table should print the regressed cycle metric")
+	}
+}
+
+func TestSameEnv(t *testing.T) {
+	a := Report{GoVersion: "go1.24.0", CPU: "x", Goos: "linux", Goarch: "amd64", GOMAXPROCS: 1, NumCPU: 1}
+	b := a
+	if !sameEnv(a, b) {
+		t.Error("identical environments must compare equal")
+	}
+	b.NumCPU = 8
+	if sameEnv(a, b) {
+		t.Error("different core counts must not compare equal")
+	}
+	if sameEnv(Report{}, Report{}) {
+		t.Error("artifacts without environment stamps must never compare equal")
 	}
 }

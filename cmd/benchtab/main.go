@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	benchtab [-fig5] [-fig6] [-table3] [-micro] [-migration] [-slo] [-iters N] [-sectors N]
+//	benchtab [-fig5] [-fig6] [-table3] [-micro] [-migration] [-slo] [-serve] [-iters N] [-sectors N]
 //
 // With no flags, everything runs. -slo evaluates the stock latency
 // service-level objectives against a protected SPEC run and prints the
-// pass/fail table.
+// pass/fail table. -serve sweeps the multi-tenant KV serving front end
+// across open-loop offered rates.
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
 	migration := flag.Bool("migration", false, "run the live-migration downtime table")
 	slo := flag.Bool("slo", false, "evaluate the latency SLOs against a protected SPEC run")
+	serveSweep := flag.Bool("serve", false, "sweep the KV serving front end across offered rates")
 	iters := flag.Int("iters", 40, "workload iterations per benchmark")
 	sectors := flag.Int("sectors", 640, "fio sectors per pattern")
 	csvDir := flag.String("csv", "", "also write fig5.csv/fig6.csv/table3.csv into this directory")
@@ -49,7 +51,7 @@ func main() {
 		}
 	}
 
-	all := !*fig5 && !*fig6 && !*table3 && !*micro && !*ablation && !*migration && !*slo
+	all := !*fig5 && !*fig6 && !*table3 && !*micro && !*ablation && !*migration && !*slo && !*serveSweep
 
 	if *csvDir != "" {
 		snap, err := bench.CaptureTelemetry(*iters)
@@ -130,6 +132,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println()
+	}
+	if all || *serveSweep {
+		rows, err := bench.ServeSweep(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatServeSweep(rows))
+		writeCSV("serve.csv", func(f *os.File) error { return bench.WriteServeCSV(f, rows) })
 	}
 	if all || *ablation {
 		ga, err := bench.MeasureGateAblation(200)

@@ -6,14 +6,17 @@
 // Usage:
 //
 //	fideliustop [-vms N] [-iters N] [-json] [-trace out.json] [-migrate]
+//	            [-serve]
 //
 // -json dumps the raw registry snapshot instead of the table; -trace
 // additionally captures the run as a Chrome trace_event timeline (causal
 // spans with parent links included). -migrate live-migrates the first VM
 // to a second platform after the workload and reports downtime, rounds
 // and wire traffic; the migrate.* registry metrics then show up in the
-// table and JSON output too. The table mode also evaluates the stock
-// latency SLOs and prints the security audit ledger's verdict.
+// table and JSON output too. -serve additionally runs a small multi-tenant
+// KV serving scenario and prints a per-tenant latency panel (p50/p99 and
+// SLO burn rates). The table mode also evaluates the stock latency SLOs
+// and prints the security audit ledger's verdict.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "dump the registry snapshot as JSON instead of the table")
 	traceOut := flag.String("trace", "", "also write a Chrome trace_event timeline to this file")
 	migrateVM := flag.Bool("migrate", false, "live-migrate the first VM to a second platform and report downtime")
+	serveVMs := flag.Bool("serve", false, "also run the multi-tenant KV serving scenario and print its latency panel")
 	flag.Parse()
 
 	plat, err := fidelius.NewPlatform(fidelius.Config{Protected: true})
@@ -105,6 +109,27 @@ func main() {
 		}
 	}
 
+	var serveSvc *fidelius.ServeService
+	if *serveVMs {
+		svc, err := plat.NewServeService(fidelius.ServeConfig{
+			Tenants:          4,
+			ClientsPerTenant: 16,
+			OpsPerClient:     2,
+			RatePerMCycle:    0.3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if errs := svc.Run(); len(errs) != 0 {
+			for dom, err := range errs {
+				if err != nil {
+					log.Fatalf("serve domain %d: %v", dom, err)
+				}
+			}
+		}
+		serveSvc = svc
+	}
+
 	snap := plat.Metrics()
 	if *jsonOut {
 		if err := snap.WriteJSON(os.Stdout); err != nil {
@@ -142,6 +167,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println()
+		if serveSvc != nil {
+			burn := map[string]float64{}
+			for _, ev := range serveSvc.EvaluateSLOs() {
+				burn[ev.Name] = ev.BurnRate
+			}
+			fmt.Printf("serving panel: %d client sessions over %d cycles\n",
+				serveSvc.Clients(), serveSvc.Elapsed())
+			fmt.Printf("%-10s %6s %12s %12s %9s %9s\n",
+				"TENANT", "OPS", "P50(CYC)", "P99(CYC)", "P50-BURN", "P99-BURN")
+			for _, r := range serveSvc.Reports() {
+				if !r.Admitted {
+					fmt.Printf("%-10s %6s admission refused\n", r.Name, "-")
+					continue
+				}
+				fmt.Printf("%-10s %6d %12.0f %12.0f %9.2f %9.2f\n",
+					r.Name, r.Ops, r.P50, r.P99,
+					burn["serve-p50:"+r.Name], burn["serve-p99:"+r.Name])
+			}
+			fmt.Println()
+		}
 		recs := plat.AuditRecords()
 		head := plat.AuditHead()
 		if err := fidelius.VerifyAuditChain(recs, head); err != nil {
@@ -168,6 +213,11 @@ func main() {
 		}
 	}
 
+	if serveSvc != nil {
+		if err := serveSvc.Shutdown(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	for i, d := range doms {
 		if i == migrated {
 			continue // this VM now lives on the target platform

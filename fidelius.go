@@ -30,6 +30,7 @@ import (
 	"fidelius/internal/core"
 	"fidelius/internal/disk"
 	"fidelius/internal/migrate"
+	"fidelius/internal/serve"
 	"fidelius/internal/sev"
 	"fidelius/internal/telemetry"
 	"fidelius/internal/xen"
@@ -439,6 +440,36 @@ func NewAESNIFront(g *GuestEnv, f *BlockFrontend, kblk [32]byte) (*AESNIFront, e
 // SetupIOSession on the domain first).
 func NewSEVFront(g *GuestEnv, f *BlockFrontend) *SEVFront { return core.NewSEVFront(g, f) }
 
+// ServeConfig sizes a multi-tenant serving scenario (see internal/serve).
+type ServeConfig = serve.Config
+
+// ServeService is one multi-tenant KV serving scenario: per-tenant
+// protected VMs running the kv store behind a sector-framed request ring,
+// with open-loop load and attestation-gated admission.
+type ServeService = serve.Service
+
+// ServeTenantReport is one tenant's serving scorecard.
+type ServeTenantReport = serve.TenantReport
+
+// NewServeService builds the serving scenario on a protected platform:
+// tenant VMs launched, disks attached, rings mapped, and every client
+// session admitted (or refused) through the attestation handshake.
+func (p *Platform) NewServeService(cfg ServeConfig) (*ServeService, error) {
+	if p.F == nil {
+		return nil, fmt.Errorf("fidelius: serving requires a protected platform")
+	}
+	return serve.New(p.F, cfg)
+}
+
+// DefaultServeSLOs returns the stock serving-latency objectives
+// (arrival-to-response p50/p99 over the fleet serve.latency histogram).
+func DefaultServeSLOs() []SLOObjective { return telemetry.DefaultServeObjectives() }
+
+// WriteServeReportTable renders per-tenant serving scorecards.
+func WriteServeReportTable(w io.Writer, reports []ServeTenantReport) error {
+	return serve.WriteReportTable(w, reports)
+}
+
 // Useful re-exported constants.
 const (
 	// PageSize is the platform page size.
@@ -462,6 +493,17 @@ func (p *Platform) Attest(nonce []byte) (*Quote, error) {
 		return nil, fmt.Errorf("fidelius: attestation requires a protected platform")
 	}
 	return p.F.Attest(nonce)
+}
+
+// AttestVM produces a signed quote bound to one protected VM: the
+// platform measurements plus the VM's launch measurement from its
+// firmware context. Clients verify it against the measurement of the
+// owner image before sending the VM any key material.
+func (p *Platform) AttestVM(d *Domain, nonce []byte) (*Quote, error) {
+	if p.F == nil {
+		return nil, fmt.Errorf("fidelius: attestation requires a protected platform")
+	}
+	return p.F.AttestVM(d, nonce)
 }
 
 // AttestationKey returns the platform's attestation public key for

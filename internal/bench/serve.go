@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fidelius/internal/core"
+	"fidelius/internal/serve"
+	"fidelius/internal/xen"
+)
+
+// Serving sweep: the multi-tenant KV front end driven at increasing
+// open-loop offered rates. Because arrivals never slow down for the
+// server, the sweep exposes the knee directly — sustained throughput
+// tracks the offered rate until the seek-dominated put path saturates,
+// after which completed ops plateau and the arrival-to-response
+// quantiles absorb the growing queue instead. A closed-loop generator
+// would show neither.
+
+// ServeRow is one offered rate evaluated end to end.
+type ServeRow struct {
+	Rate       float64 // offered, ops per Mcycle per tenant
+	Ops        uint64  // completed
+	Throughput float64 // completed ops per Mcycle (fleet)
+	P50        float64 // arrival-to-response cycles
+	P99        float64
+	Timeouts   uint64 // ops past their deadline
+	P50Pass    bool   // stock serve-p50 objective verdict
+	P99Pass    bool
+}
+
+// serveSweepConfig is the per-rate scenario shape (small enough that the
+// whole sweep stays in benchmark time).
+func serveSweepConfig(rate float64) serve.Config {
+	return serve.Config{
+		Tenants:          4,
+		ClientsPerTenant: 16,
+		OpsPerClient:     2,
+		RatePerMCycle:    rate,
+		Seed:             7,
+	}
+}
+
+// ServeSweep runs the serving scenario once per offered rate, each on a
+// fresh protected platform.
+func ServeSweep(rates []float64) ([]ServeRow, error) {
+	if len(rates) == 0 {
+		rates = []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	}
+	rows := make([]ServeRow, 0, len(rates))
+	for _, rate := range rates {
+		m, err := xen.NewMachine(xen.Config{MemPages: 4096, CacheLines: 1024})
+		if err != nil {
+			return nil, err
+		}
+		x, err := xen.New(m)
+		if err != nil {
+			return nil, err
+		}
+		f, err := core.Enable(x)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := serve.New(f, serveSweepConfig(rate))
+		if err != nil {
+			return nil, err
+		}
+		for dom, err := range svc.Run() {
+			if err != nil {
+				return nil, fmt.Errorf("rate %.3g, domain %d: %v", rate, dom, err)
+			}
+		}
+		row := ServeRow{Rate: rate}
+		for _, r := range svc.Reports() {
+			row.Ops += r.Ops
+			row.Timeouts += r.Timeouts
+		}
+		if el := svc.Elapsed(); el > 0 {
+			row.Throughput = float64(row.Ops) / (float64(el) / 1e6)
+		}
+		for _, ev := range svc.EvaluateSLOs() {
+			switch ev.Name {
+			case "serve-p50":
+				row.P50, row.P50Pass = ev.Value, ev.Pass
+			case "serve-p99":
+				row.P99, row.P99Pass = ev.Value, ev.Pass
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatServeSweep renders the sweep as a table.
+func FormatServeSweep(rows []ServeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving: open-loop offered-rate sweep (4 tenants x 16 clients)\n")
+	fmt.Fprintf(&b, "%10s %6s %12s %12s %12s %8s %6s %6s\n",
+		"ops/Mc/ten", "ops", "done/Mcyc", "p50(cyc)", "p99(cyc)", "tmo", "p50", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.3g %6d %12.3f %12.0f %12.0f %8d %6s %6s\n",
+			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts,
+			verdict(r.P50Pass), verdict(r.P99Pass))
+	}
+	return b.String()
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// WriteServeCSV emits the sweep as CSV.
+func WriteServeCSV(w io.Writer, rows []ServeRow) error {
+	if _, err := fmt.Fprintln(w, "rate_per_mcycle,ops,throughput_per_mcycle,p50_cycles,p99_cycles,timeouts,p50_pass,p99_pass"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%g,%d,%f,%f,%f,%d,%t,%t\n",
+			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts, r.P50Pass, r.P99Pass); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -323,6 +323,24 @@ func (f *Fidelius) Attest(nonce []byte) (*sev.Quote, error) {
 	return f.M.FW.Attest(nonce, f.HypervisorMeasurement, root)
 }
 
+// AttestVM produces a signed quote bound to one protected VM: the
+// platform fields of Attest plus the VM's launch measurement held in its
+// firmware context. Remote clients verify it against the measurement of
+// the image they prepared before provisioning any secret (the serving
+// layer's admission handshake).
+func (f *Fidelius) AttestVM(d *xen.Domain, nonce []byte) (*sev.Quote, error) {
+	defer f.enterTrusted()()
+	st := f.vms[d.ID]
+	if st == nil {
+		return nil, fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
+	}
+	var root [32]byte
+	if f.M.Ctl.Integ != nil {
+		root = f.M.Ctl.Integ.Root()
+	}
+	return f.M.FW.AttestGuest(st.Handle, nonce, f.HypervisorMeasurement, root)
+}
+
 // SnapshotVM captures a stopped protected VM as an encrypted bundle the
 // same platform can later restore — the snapshot/restore interface the
 // paper notes SEV already provides (Section 4.3.6). It is migration to

@@ -9,8 +9,10 @@
 //
 //	[4B magic][4B keyLen][4B valLen][key][value][padding to sector]
 //
-// terminated by a zero sector. The store is crash-simple: reopening scans
-// the log and rebuilds the index.
+// terminated by a zero sector. A valLen of 0xFFFFFFFF marks a tombstone
+// (the key is deleted; no value bytes follow), so an empty value and a
+// deletion are distinct on disk. The store is crash-simple: reopening
+// scans the log and rebuilds the index.
 package kv
 
 import (
@@ -30,6 +32,11 @@ type BlockDev interface {
 const SectorSize = 512
 
 const magic = 0xF1DE1105
+
+// tombstoneLen in the valLen header field marks a deletion record. The
+// sentinel keeps tombstones distinct from legitimate empty values, which
+// earlier versions conflated (a Put of an empty value acted as a Delete).
+const tombstoneLen = ^uint32(0)
 
 // ErrNotFound reports a missing key.
 var ErrNotFound = errors.New("kv: key not found")
@@ -89,7 +96,12 @@ func (s *Store) replay() error {
 			return fmt.Errorf("%w: bad magic %#x at lba %d", ErrCorrupt, m, s.nextLBA)
 		}
 		keyLen := int(binary.LittleEndian.Uint32(head[4:]))
-		valLen := int(binary.LittleEndian.Uint32(head[8:]))
+		rawVal := binary.LittleEndian.Uint32(head[8:])
+		dead := rawVal == tombstoneLen
+		valLen := int(rawVal)
+		if dead {
+			valLen = 0
+		}
 		if keyLen <= 0 || keyLen > 4096 || valLen < 0 || valLen > 1<<20 {
 			return fmt.Errorf("%w: silly lengths %d/%d", ErrCorrupt, keyLen, valLen)
 		}
@@ -102,20 +114,32 @@ func (s *Store) replay() error {
 			return err
 		}
 		key := string(buf[12 : 12+keyLen])
-		val := append([]byte{}, buf[12+keyLen:12+keyLen+valLen]...)
-		if valLen == 0 {
+		if dead {
 			delete(s.index, key) // tombstone
 		} else {
-			s.index[key] = val
+			s.index[key] = append([]byte{}, buf[12+keyLen:12+keyLen+valLen]...)
 		}
 		s.nextLBA += uint64(n)
 	}
 	return nil
 }
 
-// Put appends a record and updates the index. The new log terminator is
-// written first so a crash between the two writes leaves a valid log.
+// Put appends a record and updates the index. An empty (or nil) value is
+// a real value: it is stored, returned by Get as an empty slice, and the
+// key stays live — deletion is a distinct tombstone record (see Delete).
+// The new log terminator is written first so a crash between the two
+// writes leaves a valid log.
 func (s *Store) Put(key string, value []byte) error {
+	if err := s.append(key, value, false); err != nil {
+		return err
+	}
+	s.index[key] = append([]byte{}, value...)
+	return nil
+}
+
+// append writes one record (value or tombstone) with terminator-first
+// crash safety, advancing the log head.
+func (s *Store) append(key string, value []byte, dead bool) error {
 	if key == "" {
 		return errors.New("kv: empty key")
 	}
@@ -132,18 +156,17 @@ func (s *Store) Put(key string, value []byte) error {
 	buf := make([]byte, n*SectorSize)
 	binary.LittleEndian.PutUint32(buf[0:], magic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(key)))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(len(value)))
+	if dead {
+		binary.LittleEndian.PutUint32(buf[8:], tombstoneLen)
+	} else {
+		binary.LittleEndian.PutUint32(buf[8:], uint32(len(value)))
+	}
 	copy(buf[12:], key)
 	copy(buf[12+len(key):], value)
 	if err := s.dev.WriteSectors(s.nextLBA, buf); err != nil {
 		return err
 	}
 	s.nextLBA += uint64(n)
-	if len(value) == 0 {
-		delete(s.index, key)
-	} else {
-		s.index[key] = append([]byte{}, value...)
-	}
 	return nil
 }
 
@@ -156,8 +179,15 @@ func (s *Store) Get(key string) ([]byte, error) {
 	return append([]byte{}, v...), nil
 }
 
-// Delete writes a tombstone for the key.
-func (s *Store) Delete(key string) error { return s.Put(key, nil) }
+// Delete writes a tombstone record and drops the key from the index.
+// Deleting an absent key still logs a tombstone (idempotent on replay).
+func (s *Store) Delete(key string) error {
+	if err := s.append(key, nil, true); err != nil {
+		return err
+	}
+	delete(s.index, key)
+	return nil
+}
 
 // Len reports the number of live keys.
 func (s *Store) Len() int { return len(s.index) }

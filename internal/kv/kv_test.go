@@ -126,6 +126,64 @@ func TestEmptyKeyRejected(t *testing.T) {
 	}
 }
 
+// TestDeleteTombstoneReplay is the regression test for the old conflated
+// semantics, where Delete was Put(key, nil): an empty value used to act
+// as a deletion, and a deletion replayed as an empty value. Tombstones
+// are now a distinct record type.
+func TestDeleteTombstoneReplay(t *testing.T) {
+	dev := newMemDev(128)
+	s, err := Open(dev, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("gone", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(s *Store, phase string) {
+		t.Helper()
+		if _, err := s.Get("gone"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("%s: deleted key resurrected: %v", phase, err)
+		}
+		v, err := s.Get("empty")
+		if err != nil {
+			t.Fatalf("%s: empty value lost: %v", phase, err)
+		}
+		if len(v) != 0 {
+			t.Fatalf("%s: empty value = %q", phase, v)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("%s: len %d, want 1 (keys %v)", phase, s.Len(), s.Keys())
+		}
+	}
+	check(s, "live")
+
+	s2, err := Open(dev, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s2, "replayed")
+	if s2.UsedSectors() != s.UsedSectors() {
+		t.Fatal("log length mismatch after replay")
+	}
+
+	// Deleting an absent key is a logged no-op that replays cleanly.
+	if err := s2.Delete("never-existed"); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dev, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s3, "replayed-after-noop-delete")
+}
+
 func TestPropertyPutGetReplay(t *testing.T) {
 	f := func(pairs map[string]string) bool {
 		dev := newMemDev(2048)
@@ -141,11 +199,7 @@ func TestPropertyPutGetReplay(t *testing.T) {
 			if err := s.Put(k, []byte(v)); err != nil {
 				return false
 			}
-			if v == "" {
-				delete(want, k)
-			} else {
-				want[k] = v
-			}
+			want[k] = v
 		}
 		s2, err := Open(dev, 0, 2048)
 		if err != nil {

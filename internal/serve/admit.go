@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fidelius/internal/sev"
+)
+
+// Attestation-gated admission (the "Insecure Until Proven Updated"
+// discipline applied to serving): before a client session provisions its
+// session data key, it demands a fresh, VM-bound quote and checks that
+// the quote's launch measurement matches the image the client prepared.
+// A hypervisor that booted a different (backdoored, downgraded) image
+// cannot produce a matching quote — the firmware signs the measurement it
+// verified at RECEIVE_FINISH — so the session is refused before any key
+// material exists on the host side, and the refusal is a ledger fact.
+
+// admit runs the admission handshake for one tenant's client session.
+// On success the tenant holds a freshly generated session data key and
+// the fill handler will deliver it as the ring's first frame; on failure
+// the tenant is marked rejected, an attest-reject record lands in the
+// audit ledger, and no key is ever generated.
+func (s *Service) admit(t *tenant, rng *rand.Rand) {
+	hub := s.hub()
+	nonce := make([]byte, 16)
+	rng.Read(nonce)
+
+	reject := func(why string) {
+		t.rejected = true
+		hub.M.ServeRejects.Inc()
+		if hub.Auditing() {
+			hub.Audit("attest-reject", uint32(t.dom.ID), t.name+": "+why)
+		}
+	}
+
+	quote, err := s.F.AttestVM(t.dom, nonce)
+	if err != nil {
+		reject("quote request failed: " + err.Error())
+		return
+	}
+	pub, err := s.X.M.FW.AttestationKey()
+	if err != nil {
+		reject("no attestation key: " + err.Error())
+		return
+	}
+	if err := sev.VerifyQuote(pub, quote, nonce); err != nil {
+		reject("signature/nonce check failed: " + err.Error())
+		return
+	}
+	if quote.VMMeasurement != t.expectMeasure {
+		reject(fmt.Sprintf("launch measurement mismatch: quoted %x.. want %x..",
+			quote.VMMeasurement[:4], t.expectMeasure[:4]))
+		return
+	}
+	// Verified: only now does the client mint the session data key.
+	rng.Read(t.dataKey[:])
+	t.admitted = true
+	if hub.Auditing() {
+		hub.Audit("attest-admit", uint32(t.dom.ID),
+			fmt.Sprintf("%s: measurement %x.. verified, session key provisioned", t.name, quote.VMMeasurement[:4]))
+	}
+}

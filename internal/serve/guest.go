@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"fidelius/internal/core"
+	"fidelius/internal/cycles"
+	"fidelius/internal/hw"
+	"fidelius/internal/kv"
+	"fidelius/internal/xen"
+)
+
+// storeLBA is where the kv log region starts on each tenant disk.
+const storeLBA = 8
+
+// guestMain is the tenant VM's kernel: it opens the kv store over the
+// protected block path (Kblk read from its own encrypted kernel image),
+// then serves ring batches until the front door posts the stop flag.
+//
+// The loop is a doorbell poll: kicking the doorbell port traps to the
+// host, which fills request frames *while the vCPU is parked in the
+// VMEXIT*; on resume the guest reads the batch, executes it against the
+// store, posts responses, and kicks the completion port so the host can
+// match latencies. An empty batch without the stop flag halts for a
+// quantum — burning simulated cycles, which is exactly how open-loop
+// arrivals become due.
+func (s *Service) guestMain(t *tenant) xen.GuestFunc {
+	kbase := t.kbase
+	sectors := s.cfg.StoreSectors
+	return func(g *xen.GuestEnv) error {
+		bf, err := xen.NewBlockFrontend(g)
+		if err != nil {
+			return err
+		}
+		var kblk [32]byte
+		if err := g.Read(kbase+core.KblkOffset, kblk[:]); err != nil {
+			return err
+		}
+		dev, err := core.NewAESNIFront(g, bf, kblk)
+		if err != nil {
+			return err
+		}
+		if err := kv.Format(dev, storeLBA); err != nil {
+			return err
+		}
+		store, err := kv.Open(dev, storeLBA, sectors)
+		if err != nil {
+			return err
+		}
+
+		reqGPA := g.Info.ServeGFN << hw.PageShift
+		respGPA := reqGPA + hw.PageSize
+		doorbell := uint64(g.Info.ServePort)
+		completion := doorbell + 1
+
+		var sessionKey [32]byte
+		haveKey := false
+		var ctl, frame, out [SectorSize]byte
+		served := 0
+		for {
+			if _, err := g.Hypercall(xen.HCEventChannelOp, xen.EvtOpSend, doorbell); err != nil {
+				return err
+			}
+			if err := g.ReadUnencrypted(reqGPA, ctl[:]); err != nil {
+				return err
+			}
+			count, flags, err := decodeReqCtl(ctl[:])
+			if err != nil {
+				return err
+			}
+			if count > RingFrames {
+				return fmt.Errorf("serve: host posted %d requests", count)
+			}
+			if count == 0 {
+				if flags&FlagStop != 0 {
+					return g.ConsolePrint(fmt.Sprintf("served %d ops", served))
+				}
+				g.Halt()
+				continue
+			}
+			for i := uint32(0); i < count; i++ {
+				if err := g.ReadUnencrypted(reqGPA+uint64((i+1)*SectorSize), frame[:]); err != nil {
+					return err
+				}
+				id, op, key, val, err := decodeRequest(frame[:])
+				if err != nil {
+					return err
+				}
+				status, respVal := execOp(g, store, &sessionKey, &haveKey, op, key, val)
+				if op != OpInstallKey {
+					served++
+				}
+				if err := encodeResponse(out[:], id, status, respVal); err != nil {
+					return err
+				}
+				if err := g.WriteUnencrypted(respGPA+uint64((i+1)*SectorSize), out[:]); err != nil {
+					return err
+				}
+			}
+			encodeRespCtl(out[:], count)
+			if err := g.WriteUnencrypted(respGPA, out[:]); err != nil {
+				return err
+			}
+			if _, err := g.Hypercall(xen.HCEventChannelOp, xen.EvtOpSend, completion); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// execOp runs one request against the store. Values cross the
+// (hypervisor-visible) ring encrypted under the session key: puts arrive
+// as ciphertext and are decrypted here, get responses are encrypted
+// before they leave guest memory. The session-cipher work is charged at
+// AES-NI hardware cost, like the disk path's.
+func execOp(g *xen.GuestEnv, store *kv.Store, sessionKey *[32]byte, haveKey *bool, op uint32, key string, val []byte) (uint32, []byte) {
+	switch op {
+	case OpInstallKey:
+		if len(val) != 32 {
+			return StatusError, nil
+		}
+		copy(sessionKey[:], val)
+		*haveKey = true
+		return StatusOK, nil
+	case OpPut:
+		if !*haveKey {
+			return StatusError, nil
+		}
+		chargeSessionCipher(g, len(val))
+		xorSession(*sessionKey, key, val)
+		if err := store.Put(key, val); err != nil {
+			return StatusError, nil
+		}
+		return StatusOK, nil
+	case OpGet:
+		if !*haveKey {
+			return StatusError, nil
+		}
+		v, err := store.Get(key)
+		if errors.Is(err, kv.ErrNotFound) {
+			return StatusNotFound, nil
+		}
+		if err != nil {
+			return StatusError, nil
+		}
+		chargeSessionCipher(g, len(v))
+		xorSession(*sessionKey, key, v)
+		return StatusOK, v
+	case OpDelete:
+		if !*haveKey {
+			return StatusError, nil
+		}
+		if err := store.Delete(key); err != nil {
+			return StatusError, nil
+		}
+		return StatusOK, nil
+	}
+	return StatusError, nil
+}
+
+// chargeSessionCipher accounts the session-key crypto on the cycle clock.
+func chargeSessionCipher(g *xen.GuestEnv, n int) {
+	blocks := uint64((n + 15) / 16)
+	if blocks == 0 {
+		blocks = 1
+	}
+	g.Charge(blocks * cycles.AESBlockHW)
+}

@@ -1,0 +1,509 @@
+// Package serve is the multi-tenant request-serving front end: thousands
+// of simulated clients issue get/put/delete against per-tenant
+// Fidelius-protected VMs, each running the internal/kv store over the
+// protected PV block path, with requests delivered through a
+// sector-framed shared-memory ring signalled via event-channel ports.
+//
+// This is the paper's motivating scenario turned into a workload — a
+// tenant service whose data stays confidential against the hypervisor —
+// and simultaneously its attack surface: SEVered-style attacks abuse
+// exactly such a guest-facing service, and "Insecure Until Proven
+// Updated" shows why a client must verify the VM's launch measurement
+// before provisioning any secret. Both concerns are first-class here:
+// admission is attestation-gated (a client session verifies a VM-bound
+// quote before its data key is ever enqueued; rejections land in the
+// audit ledger), and every request is measured on the platform's cycle
+// clock into labelled latency histograms with open-loop arrivals, so
+// coordinated omission cannot hide tail latency.
+package serve
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fidelius/internal/core"
+	"fidelius/internal/disk"
+	"fidelius/internal/hw"
+	"fidelius/internal/sev"
+	"fidelius/internal/telemetry"
+	"fidelius/internal/xen"
+)
+
+// Event-channel ports of one tenant domain (per-domain namespace).
+const (
+	// BlkPort is the PV block device's kick port.
+	BlkPort = 1
+	// DoorbellPort is the guest's "give me work" kick: the host fills
+	// request frames inside this handler.
+	DoorbellPort = 2
+	// CompletionPort is the guest's "responses posted" kick: the host
+	// drains response frames and records latencies inside this handler.
+	CompletionPort = 3
+)
+
+// Config sizes one serving scenario.
+type Config struct {
+	// Tenants is the number of tenant VMs (default 8).
+	Tenants int
+	// ClientsPerTenant simulated client sessions per tenant (default 128).
+	ClientsPerTenant int
+	// OpsPerClient operations each client issues (default 2).
+	OpsPerClient int
+	// RatePerMCycle is each tenant's offered load in ops per million
+	// cycles, Poisson arrivals (default 0.15 — roughly 70% of what a
+	// log-structured put mix sustains through the seek-dominated disk
+	// model, so latency shows queueing without unbounded backlog).
+	RatePerMCycle float64
+	// Window caps each client's in-flight ops (default 4).
+	Window int
+	// DeadlineCycles is the per-op latency deadline for timeout
+	// accounting (default 16M cycles; 0 disables).
+	DeadlineCycles uint64
+	// PutFrac and DelFrac set the op mix beyond first-touch puts
+	// (defaults 0.35 / 0.10; the remainder are gets).
+	PutFrac, DelFrac float64
+	// ValueBytes is the value size (default 48).
+	ValueBytes int
+	// Seed makes the generated load deterministic (default 1).
+	Seed int64
+	// MemPages per tenant VM (default 64).
+	MemPages int
+	// DataPages of PV block shared area (default 2).
+	DataPages int
+	// StoreSectors is the kv store region length (default 384).
+	StoreSectors int
+	// DiskSectors sizes each tenant's disk (default 512).
+	DiskSectors int
+	// Parallel schedules tenants with ScheduleParallel at Width slots.
+	Parallel bool
+	Width    int
+	// TamperTenants lists tenant indices whose client holds a corrupted
+	// expected measurement: admission must refuse them.
+	TamperTenants []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants <= 0 {
+		c.Tenants = 8
+	}
+	if c.ClientsPerTenant <= 0 {
+		c.ClientsPerTenant = 128
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 2
+	}
+	if c.RatePerMCycle <= 0 {
+		c.RatePerMCycle = 0.15
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.DeadlineCycles == 0 {
+		c.DeadlineCycles = 16 << 20
+	}
+	if c.PutFrac == 0 {
+		c.PutFrac = 0.35
+	}
+	if c.DelFrac == 0 {
+		c.DelFrac = 0.10
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 48
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MemPages <= 0 {
+		c.MemPages = 64
+	}
+	if c.DataPages <= 0 {
+		c.DataPages = 2
+	}
+	if c.StoreSectors <= 0 {
+		c.StoreSectors = 384
+	}
+	if c.DiskSectors <= 0 {
+		c.DiskSectors = 512
+	}
+	return c
+}
+
+// tenant is one tenant VM plus its client-side session state. All fields
+// below the setup section are mutated only inside the domain's event
+// handlers — which the hypervisor runs under its big lock — or after
+// scheduling has finished.
+type tenant struct {
+	idx    int
+	name   string
+	dom    *xen.Domain
+	bundle *core.GuestBundle
+	disk   *disk.Disk
+	kbase  uint64 // kernel base GPA
+
+	// Client-side admission state.
+	expectMeasure [32]byte // what the client believes the image measures
+	admitted      bool
+	rejected      bool
+	dataKey       [32]byte
+
+	// Ring plumbing.
+	reqPA, respPA hw.PhysAddr
+
+	// Injection / completion state (handler-owned).
+	gen      *loadGen
+	pending  map[uint64]*genOp
+	nextID   uint64
+	keySent  bool
+	keyAcked bool
+
+	// Stats (handler-owned until Run returns).
+	ops, gets, puts, dels       uint64
+	timeouts, mismatches, stray uint64
+	lat                         *telemetry.Histogram
+}
+
+// Service is one multi-tenant serving scenario bound to a platform.
+type Service struct {
+	X   *xen.Xen
+	F   *core.Fidelius
+	cfg Config
+
+	tenants []*tenant
+	started uint64 // cycle clock at Run
+	elapsed uint64
+	ran     bool
+}
+
+// ErrNotProtected reports service creation on an unprotected platform.
+var ErrNotProtected = errors.New("serve: serving requires a Fidelius-protected platform")
+
+func (s *Service) hub() *telemetry.Hub { return s.X.M.Ctl.Telem }
+
+// New builds the scenario: for every tenant it prepares an owner image,
+// launches the protected VM, attaches the encrypted disk, maps the serve
+// ring, runs the attestation-gated admission handshake, and publishes the
+// start info. Tenants whose admission fails stay launched but rejected —
+// their guests stop without ever seeing a data key.
+func New(f *core.Fidelius, cfg Config) (*Service, error) {
+	if f == nil {
+		return nil, ErrNotProtected
+	}
+	cfg = cfg.withDefaults()
+	s := &Service{X: f.X, F: f, cfg: cfg}
+	owner, err := sev.NewOwner()
+	if err != nil {
+		return nil, err
+	}
+	platformPub, err := s.X.M.FW.PublicKey()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tampered := make(map[int]bool, len(cfg.TamperTenants))
+	for _, i := range cfg.TamperTenants {
+		tampered[i] = true
+	}
+	serveGFN := uint64(xen.BlkDataGFN + cfg.DataPages)
+	kernel := make([]byte, hw.PageSize)
+	copy(kernel, "FIDELIUS-SERVE-TENANT-KERNEL")
+
+	for i := 0; i < cfg.Tenants; i++ {
+		t := &tenant{
+			idx:     i,
+			name:    fmt.Sprintf("tenant-%d", i),
+			pending: make(map[uint64]*genOp),
+			nextID:  1,
+		}
+		// Every tenant boots its own owner bundle: transport keys are
+		// fresh per image, so every tenant has a distinct launch
+		// measurement for admission to check.
+		bundle, _, err := core.PrepareGuest(owner, platformPub, kernel, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.bundle = bundle
+		t.expectMeasure = [32]byte(bundle.Image.Measurement)
+		if tampered[i] {
+			t.expectMeasure[0] ^= 0xA5 // supply-chain / rollback tampering
+		}
+
+		d, err := f.LaunchVM(t.name, cfg.MemPages, bundle)
+		if err != nil {
+			return nil, err
+		}
+		t.dom = d
+		t.kbase = f.KernelBase(d, bundle) * hw.PageSize
+		t.disk = disk.New(cfg.DiskSectors)
+		if _, err := f.AttachProtectedDisk(d, t.disk, cfg.DataPages, BlkPort, nil); err != nil {
+			return nil, err
+		}
+		// The serve ring rides directly after the block data pages; its
+		// sharing must be pre-declared to the gatekeeper like any other.
+		if err := f.PreShare(d.ID, xen.Dom0, serveGFN, RingPages, 0); err != nil {
+			return nil, err
+		}
+		pas, err := s.X.SharePages(d, serveGFN, RingPages)
+		if err != nil {
+			return nil, err
+		}
+		t.reqPA, t.respPA = pas[0], pas[1]
+		d.Info.ServeGFN = serveGFN
+		d.Info.ServePort = DoorbellPort
+		// Both devices are attached; publish the write-once start info.
+		if err := s.X.WriteStartInfo(d); err != nil {
+			return nil, err
+		}
+		s.X.Events.Bind(d.ID, DoorbellPort, s.fillHandler(t))
+		s.X.Events.Bind(d.ID, CompletionPort, s.drainHandler(t))
+
+		t.gen = buildLoad(i, cfg.ClientsPerTenant, cfg.OpsPerClient,
+			cfg.RatePerMCycle, cfg.PutFrac, cfg.DelFrac, cfg.ValueBytes, cfg.Window,
+			rand.New(rand.NewSource(cfg.Seed+int64(i)+1)))
+		t.lat = s.hub().Reg.Histogram("serve.latency", telemetry.ServeLatencyBuckets, "tenant", t.name)
+
+		// Attestation-gated admission: verify first, then (and only
+		// then) provision the session data key.
+		s.admit(t, rng)
+		s.tenants = append(s.tenants, t)
+	}
+	return s, nil
+}
+
+// Run schedules every tenant VM until all sessions drain, then records
+// the elapsed cycle window for throughput accounting. Serial by default
+// (deterministic); cfg.Parallel uses the concurrent scheduler.
+func (s *Service) Run() map[xen.DomID]error {
+	start := s.hub().Now()
+	s.started = start
+	doms := make([]*xen.Domain, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		t.gen.rebase(start)
+		s.X.StartVCPU(t.dom, s.guestMain(t))
+		doms = append(doms, t.dom)
+	}
+	var errs map[xen.DomID]error
+	if s.cfg.Parallel {
+		errs = s.X.ScheduleParallel(doms, s.cfg.Width)
+	} else {
+		errs = s.X.Schedule(doms)
+	}
+	s.elapsed = s.hub().Now() - start
+	s.ran = true
+	return errs
+}
+
+// Shutdown tears the tenant VMs down.
+func (s *Service) Shutdown() error {
+	for _, t := range s.tenants {
+		if err := s.F.ShutdownVM(t.dom); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readPA / writePA move one sector between host memory and a buffer, the
+// same untrusted-host path the block backend uses.
+func (s *Service) readPA(pa hw.PhysAddr, buf []byte) error {
+	return s.X.M.Ctl.Read(hw.Access{PA: pa}, buf)
+}
+
+func (s *Service) writePA(pa hw.PhysAddr, data []byte) error {
+	return s.X.M.Ctl.Write(hw.Access{PA: pa}, data)
+}
+
+// sessionDone reports whether a tenant will never produce more work.
+func (t *tenant) sessionDone() bool {
+	if t.rejected {
+		return true
+	}
+	return t.keyAcked && t.gen.exhausted() && len(t.pending) == 0
+}
+
+// fillHandler services the guest's doorbell: it injects every due
+// request (admission key first, then open-loop arrivals) into the ring
+// frames and publishes the batch count, setting the stop flag once the
+// session has fully drained. Runs in host context under the hypervisor
+// lock, while the guest vCPU is parked in the hypercall exit.
+func (s *Service) fillHandler(t *tenant) func() error {
+	return func() error {
+		hub := s.hub()
+		now := hub.Now()
+		var frame [SectorSize]byte
+		n := uint32(0)
+		if t.admitted && !t.keySent {
+			// The session data key goes first — and only exists on an
+			// admitted session.
+			if err := encodeRequest(frame[:], 0, OpInstallKey, "", t.dataKey[:]); err != nil {
+				return err
+			}
+			if err := s.writePA(t.reqPA+hw.PhysAddr((n+1)*SectorSize), frame[:]); err != nil {
+				return err
+			}
+			t.pending[0] = &genOp{kind: OpInstallKey, arrival: now}
+			t.keySent = true
+			n++
+		}
+		if t.keySent {
+			for n < RingFrames {
+				op := t.gen.nextDue(now)
+				if op == nil {
+					break
+				}
+				id := t.nextID
+				t.nextID++
+				t.gen.markInjected(op, id)
+				// Values cross the host-visible ring encrypted under the
+				// session key the client minted at admission.
+				payload := op.val
+				if op.kind == OpPut {
+					payload = append([]byte{}, op.val...)
+					xorSession(t.dataKey, op.key, payload)
+				}
+				if err := encodeRequest(frame[:], id, op.kind, op.key, payload); err != nil {
+					return err
+				}
+				if err := s.writePA(t.reqPA+hw.PhysAddr((n+1)*SectorSize), frame[:]); err != nil {
+					return err
+				}
+				t.pending[id] = op
+				if hub.Tracing() {
+					hub.EmitDetail(telemetry.KindServeReq, uint32(t.dom.ID), uint32(t.dom.ASID),
+						0, id, uint64(op.kind), OpName(op.kind))
+				}
+				n++
+			}
+		}
+		var flags uint32
+		if n == 0 && t.sessionDone() {
+			flags = FlagStop
+		}
+		var ctl [SectorSize]byte
+		encodeReqCtl(ctl[:], n, flags)
+		return s.writePA(t.reqPA, ctl[:])
+	}
+}
+
+// drainHandler services the guest's completion kick: it matches response
+// frames to pending ops, records arrival-to-response latency into the
+// global and per-tenant histograms, emits the serve-request span parented
+// under the scheduler quantum that completed it, and accounts deadlines
+// and response correctness. Runs under the hypervisor lock.
+func (s *Service) drainHandler(t *tenant) func() error {
+	return func() error {
+		hub := s.hub()
+		var ctl [SectorSize]byte
+		if err := s.readPA(t.respPA, ctl[:]); err != nil {
+			return err
+		}
+		count, err := decodeRespCtl(ctl[:])
+		if err != nil {
+			return err
+		}
+		if count > RingFrames {
+			return fmt.Errorf("serve: guest posted %d responses", count)
+		}
+		now := hub.Now()
+		var frame [SectorSize]byte
+		for i := uint32(0); i < count; i++ {
+			if err := s.readPA(t.respPA+hw.PhysAddr((i+1)*SectorSize), frame[:]); err != nil {
+				return err
+			}
+			id, status, val, err := decodeResponse(frame[:])
+			if err != nil {
+				return err
+			}
+			op, ok := t.pending[id]
+			if !ok {
+				t.stray++
+				continue
+			}
+			delete(t.pending, id)
+			if op.kind == OpInstallKey {
+				if status == StatusOK {
+					t.keyAcked = true
+				}
+				continue
+			}
+			t.gen.markDone(op)
+			lat := now - op.arrival
+			hub.M.ServeOps.Inc()
+			hub.M.ServeLatency.Observe(lat)
+			t.lat.Observe(lat)
+			t.ops++
+			switch op.kind {
+			case OpGet:
+				t.gets++
+			case OpPut:
+				t.puts++
+			case OpDelete:
+				t.dels++
+			}
+			if s.cfg.DeadlineCycles > 0 && lat > s.cfg.DeadlineCycles {
+				hub.M.ServeTimeouts.Inc()
+				t.timeouts++
+			}
+			if op.kind == OpGet && status == StatusOK {
+				xorSession(t.dataKey, op.key, val) // ring carries ciphertext
+			}
+			if !responseOK(op, status, val) {
+				t.mismatches++
+			}
+			if hub.Tracing() {
+				hub.CompleteSpan("serve-request", uint32(t.dom.ID), uint32(t.dom.ASID),
+					hub.Ambient(), op.arrival, now,
+					telemetry.Attr{Key: "tenant", Val: t.name},
+					telemetry.Attr{Key: "op", Val: OpName(op.kind)})
+				hub.EmitDetail(telemetry.KindServeDone, uint32(t.dom.ID), uint32(t.dom.ASID),
+					lat, id, lat, OpName(op.kind))
+			}
+		}
+		// Zero the count so a duplicate kick cannot double-account.
+		encodeRespCtl(ctl[:], 0)
+		return s.writePA(t.respPA, ctl[:])
+	}
+}
+
+// responseOK checks one response against the client's model of its own
+// writes (per-client FIFO makes the expectation exact at injection time).
+func responseOK(op *genOp, status uint32, val []byte) bool {
+	switch op.kind {
+	case OpPut, OpDelete:
+		return status == StatusOK
+	case OpGet:
+		if op.expectMiss {
+			return status == StatusNotFound
+		}
+		return status == StatusOK && string(val) == string(op.expect)
+	}
+	return false
+}
+
+// sessionKeystream derives the XOR keystream block i for a record key
+// under the session data key — shared by the guest (encrypt on put,
+// decrypt on get) and by tests proving ring/disk bytes are ciphertext.
+func sessionKeystream(dataKey [32]byte, recordKey string, block int) [32]byte {
+	h := sha256.New()
+	h.Write(dataKey[:])
+	h.Write([]byte(recordKey))
+	var ctr [8]byte
+	for j := 0; j < 8; j++ {
+		ctr[j] = byte(uint64(block) >> (8 * j))
+	}
+	h.Write(ctr[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// xorSession applies the session cipher in place over data.
+func xorSession(dataKey [32]byte, recordKey string, data []byte) {
+	for i := 0; i < len(data); i += 32 {
+		ks := sessionKeystream(dataKey, recordKey, i/32)
+		for j := i; j < i+32 && j < len(data); j++ {
+			data[j] ^= ks[j-i]
+		}
+	}
+}

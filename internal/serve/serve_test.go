@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fidelius/internal/core"
+	"fidelius/internal/telemetry"
+	"fidelius/internal/xen"
+)
+
+func newServePlatform(t *testing.T) *core.Fidelius {
+	t.Helper()
+	m, err := xen.NewMachine(xen.Config{MemPages: 4096, CacheLines: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := xen.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.Enable(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	f := newServePlatform(t)
+	hub := f.X.M.Ctl.Telem
+	hub.StartLedger()
+	cfg := Config{
+		Tenants:          2,
+		ClientsPerTenant: 8,
+		OpsPerClient:     4,
+		RatePerMCycle:    0.5,
+	}
+	s, err := New(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for domID, err := range s.Run() {
+		if err != nil {
+			t.Fatalf("domain %d: %v", domID, err)
+		}
+	}
+
+	wantOps := uint64(cfg.ClientsPerTenant * cfg.OpsPerClient)
+	reports := s.Reports()
+	if len(reports) != cfg.Tenants {
+		t.Fatalf("got %d reports, want %d", len(reports), cfg.Tenants)
+	}
+	for _, r := range reports {
+		if !r.Admitted {
+			t.Fatalf("%s: admission refused with an untampered measurement", r.Name)
+		}
+		if r.Ops != wantOps {
+			t.Errorf("%s: completed %d ops, want %d", r.Name, r.Ops, wantOps)
+		}
+		if r.Mismatches != 0 {
+			t.Errorf("%s: %d responses disagreed with the client model", r.Name, r.Mismatches)
+		}
+		if r.Gets+r.Puts+r.Dels != r.Ops {
+			t.Errorf("%s: op mix %d+%d+%d does not add to %d", r.Name, r.Gets, r.Puts, r.Dels, r.Ops)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 {
+			t.Errorf("%s: implausible latency quantiles p50=%.0f p99=%.0f", r.Name, r.P50, r.P99)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("%s: no throughput recorded", r.Name)
+		}
+	}
+
+	snap := hub.Reg.Snapshot()
+	if got := snap.Counters["serve.ops"]; got != wantOps*uint64(cfg.Tenants) {
+		t.Errorf("serve.ops counter %d, want %d", got, wantOps*uint64(cfg.Tenants))
+	}
+	if h, ok := snap.Histograms["serve.latency"]; !ok || h.Count != wantOps*uint64(cfg.Tenants) {
+		t.Errorf("fleet serve.latency histogram missing or short: %+v", h)
+	}
+
+	// The stock serve SLOs must evaluate (not skip) end to end.
+	evals := s.EvaluateSLOs()
+	evaluated := 0
+	for _, ev := range evals {
+		if !ev.Skipped {
+			evaluated++
+		}
+	}
+	if evaluated == 0 {
+		t.Error("no serve SLO evaluated against the run")
+	}
+	if err := hub.Ledger().Verify(); err != nil {
+		t.Errorf("audit ledger: %v", err)
+	}
+}
+
+// TestServeAdmissionDenied is the "Insecure Until Proven Updated" check:
+// a client whose expected launch measurement disagrees with the quote
+// must be refused before any key material exists, the refusal must land
+// in the audit ledger as attest-reject, and the hash chain must verify.
+func TestServeAdmissionDenied(t *testing.T) {
+	f := newServePlatform(t)
+	hub := f.X.M.Ctl.Telem
+	hub.StartLedger()
+	cfg := Config{
+		Tenants:          2,
+		ClientsPerTenant: 4,
+		OpsPerClient:     2,
+		RatePerMCycle:    2,
+		TamperTenants:    []int{1},
+	}
+	s, err := New(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := s.tenants[1]
+	if !victim.rejected || victim.admitted {
+		t.Fatal("tampered tenant was admitted")
+	}
+	if victim.dataKey != ([32]byte{}) {
+		t.Fatal("key material was minted for a refused session")
+	}
+
+	for domID, err := range s.Run() {
+		if err != nil {
+			t.Fatalf("domain %d: %v", domID, err)
+		}
+	}
+	if victim.keySent {
+		t.Error("a key frame was enqueued for a refused session")
+	}
+	reports := s.Reports()
+	if reports[1].Admitted || reports[1].Ops != 0 {
+		t.Errorf("refused tenant served traffic: %+v", reports[1])
+	}
+	if !reports[0].Admitted || reports[0].Ops == 0 {
+		t.Errorf("healthy tenant did not serve: %+v", reports[0])
+	}
+
+	led := hub.Ledger()
+	found := false
+	for _, rec := range led.Records() {
+		if rec.Class == "attest-reject" && strings.Contains(rec.Detail, "tenant-1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no attest-reject record in the audit ledger")
+	}
+	if err := telemetry.VerifyChain(led.Records(), led.Head()); err != nil {
+		t.Errorf("ledger chain: %v", err)
+	}
+	if got := hub.Reg.Snapshot().Counters["serve.rejects"]; got != 1 {
+		t.Errorf("serve.rejects = %d, want 1", got)
+	}
+}
+
+// TestConcurrentServeTenants drives eight tenants through the parallel
+// scheduler; it exists to run under -race (make stress picks it up by
+// name).
+func TestConcurrentServeTenants(t *testing.T) {
+	f := newServePlatform(t)
+	cfg := Config{
+		Tenants:          8,
+		ClientsPerTenant: 4,
+		OpsPerClient:     2,
+		RatePerMCycle:    2,
+		Parallel:         true,
+		Width:            4,
+	}
+	s, err := New(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for domID, err := range s.Run() {
+		if err != nil {
+			t.Fatalf("domain %d: %v", domID, err)
+		}
+	}
+	wantOps := uint64(cfg.ClientsPerTenant * cfg.OpsPerClient)
+	for _, r := range s.Reports() {
+		if !r.Admitted || r.Ops != wantOps || r.Mismatches != 0 {
+			t.Errorf("tenant %s: %+v", r.Name, r)
+		}
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingCodecRoundTrip(t *testing.T) {
+	buf := make([]byte, SectorSize)
+	val := bytes.Repeat([]byte{0xAB}, MaxValLen)
+	if err := encodeRequest(buf, 42, OpPut, strings.Repeat("k", MaxKeyLen), val); err != nil {
+		t.Fatal(err)
+	}
+	id, op, key, gotVal, err := decodeRequest(buf)
+	if err != nil || id != 42 || op != OpPut || len(key) != MaxKeyLen || !bytes.Equal(gotVal, val) {
+		t.Fatalf("request round trip: id=%d op=%d keyLen=%d err=%v", id, op, len(key), err)
+	}
+	if err := encodeRequest(buf, 1, OpPut, "k", make([]byte, MaxValLen+1)); err == nil {
+		t.Error("oversized value encoded")
+	}
+
+	if err := encodeResponse(buf, 7, StatusNotFound, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	id, status, gotVal, err := decodeResponse(buf)
+	if err != nil || id != 7 || status != StatusNotFound || string(gotVal) != "v" {
+		t.Fatalf("response round trip: id=%d status=%d val=%q err=%v", id, status, gotVal, err)
+	}
+
+	encodeReqCtl(buf, 5, FlagStop)
+	count, flags, err := decodeReqCtl(buf)
+	if err != nil || count != 5 || flags != FlagStop {
+		t.Fatalf("req ctl round trip: count=%d flags=%d err=%v", count, flags, err)
+	}
+	encodeRespCtl(buf, 3)
+	if count, err := decodeRespCtl(buf); err != nil || count != 3 {
+		t.Fatalf("resp ctl round trip: count=%d err=%v", count, err)
+	}
+	buf[0] ^= 1
+	if _, err := decodeRespCtl(buf); err == nil {
+		t.Error("corrupt control sector decoded")
+	}
+}
+
+// TestLoadGenOpenLoop checks the generator's invariants: arrivals are
+// monotone, injection respects per-client FIFO order and the in-flight
+// window, and the model predicts every get.
+func TestLoadGenOpenLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := buildLoad(0, 4, 16, 10, 0.35, 0.10, 16, 2, rng)
+	if g.total() != 64 {
+		t.Fatalf("generated %d ops, want 64", g.total())
+	}
+	for i := 1; i < len(g.ops); i++ {
+		if g.ops[i].arrival < g.ops[i-1].arrival {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+
+	// Drain the whole schedule through the window machinery.
+	lastSeq := make(map[int]int)
+	var clock uint64
+	id := uint64(1)
+	inflight := map[int][]*genOp{}
+	for g.injected < g.total() {
+		clock += 1 << 16
+		for {
+			op := g.nextDue(clock)
+			if op == nil {
+				break
+			}
+			if last, ok := lastSeq[op.client]; ok && op.seq <= last {
+				t.Fatal("per-client FIFO order violated")
+			}
+			lastSeq[op.client] = op.seq
+			g.markInjected(op, id)
+			id++
+			inflight[op.client] = append(inflight[op.client], op)
+			if len(inflight[op.client]) > 2 {
+				t.Fatal("in-flight window exceeded")
+			}
+			if op.kind == OpGet && !op.expectMiss && op.expect == nil {
+				t.Fatal("get injected without an expectation")
+			}
+			// Complete the oldest op for this client half the time, so
+			// windows genuinely fill and drain.
+			if len(inflight[op.client]) == 2 {
+				done := inflight[op.client][0]
+				inflight[op.client] = inflight[op.client][1:]
+				g.markDone(done)
+			}
+		}
+	}
+	if !g.exhausted() {
+		t.Fatal("generator not exhausted after full drain")
+	}
+}

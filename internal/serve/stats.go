@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"fidelius/internal/telemetry"
+)
+
+// TenantReport is one tenant's serving scorecard, computed from the
+// telemetry registry's labelled latency histogram plus the handler-owned
+// counters after Run returns.
+type TenantReport struct {
+	Name       string  `json:"name"`
+	VM         uint32  `json:"vm"`
+	Clients    int     `json:"clients"`
+	Admitted   bool    `json:"admitted"`
+	Ops        uint64  `json:"ops"`
+	Gets       uint64  `json:"gets"`
+	Puts       uint64  `json:"puts"`
+	Dels       uint64  `json:"dels"`
+	Timeouts   uint64  `json:"timeouts"`
+	Mismatches uint64  `json:"mismatches"`
+	P50        float64 `json:"p50_cycles"`
+	P99        float64 `json:"p99_cycles"`
+	// Throughput is completed ops per million cycles of the Run window.
+	Throughput float64 `json:"ops_per_mcycle"`
+}
+
+// Elapsed reports the Run window in cycles (0 before Run).
+func (s *Service) Elapsed() uint64 { return s.elapsed }
+
+// Clients reports the total simulated client-session count.
+func (s *Service) Clients() int { return s.cfg.Tenants * s.cfg.ClientsPerTenant }
+
+// Reports builds the per-tenant scorecards. Call after Run.
+func (s *Service) Reports() []TenantReport {
+	snap := s.hub().Reg.Snapshot()
+	out := make([]TenantReport, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		r := TenantReport{
+			Name:       t.name,
+			VM:         uint32(t.dom.ID),
+			Clients:    s.cfg.ClientsPerTenant,
+			Admitted:   t.admitted,
+			Ops:        t.ops,
+			Gets:       t.gets,
+			Puts:       t.puts,
+			Dels:       t.dels,
+			Timeouts:   t.timeouts,
+			Mismatches: t.mismatches + t.stray,
+		}
+		if h, ok := snap.Histograms[telemetry.MetricName("serve.latency", "tenant", t.name)]; ok && h.Count > 0 {
+			r.P50 = h.Quantile(0.50)
+			r.P99 = h.Quantile(0.99)
+		}
+		if s.elapsed > 0 {
+			r.Throughput = float64(r.Ops) / (float64(s.elapsed) / 1e6)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Objectives returns the scenario's SLO set: the stock fleet-wide serve
+// objectives plus the same objectives scoped to every tenant's labelled
+// histogram.
+func (s *Service) Objectives() []telemetry.Objective {
+	objs := telemetry.DefaultServeObjectives()
+	for _, t := range s.tenants {
+		objs = append(objs, telemetry.TenantServeObjectives(t.name)...)
+	}
+	return objs
+}
+
+// EvaluateSLOs runs the scenario's objectives through the hub's SLO
+// engine (burn-rate alerts and audit records included).
+func (s *Service) EvaluateSLOs() []telemetry.Evaluation {
+	return s.hub().EvaluateSLOs(s.Objectives())
+}
+
+// WriteReportTable renders the per-tenant scorecards.
+func WriteReportTable(w io.Writer, reports []TenantReport) error {
+	if _, err := fmt.Fprintf(w, "%-10s %3s %8s %6s %6s %6s %6s %5s %5s %12s %12s %10s\n",
+		"tenant", "vm", "clients", "ops", "gets", "puts", "dels", "tmo", "bad", "p50(cyc)", "p99(cyc)", "ops/Mcyc"); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		if !r.Admitted {
+			if _, err := fmt.Fprintf(w, "%-10s %3d %8d %s\n",
+				r.Name, r.VM, r.Clients, "ADMISSION REFUSED (attestation mismatch; no key material sent)"); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %3d %8d %6d %6d %6d %6d %5d %5d %12.0f %12.0f %10.3f\n",
+			r.Name, r.VM, r.Clients, r.Ops, r.Gets, r.Puts, r.Dels, r.Timeouts, r.Mismatches,
+			r.P50, r.P99, r.Throughput); err != nil {
+			return err
+		}
+	}
+	return nil
+}

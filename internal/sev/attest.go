@@ -7,6 +7,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+
+	"fidelius/internal/cycles"
 )
 
 // Remote attestation: the paper's system initialisation "leverages
@@ -20,11 +22,15 @@ type attestKey struct {
 	priv *ecdsa.PrivateKey
 }
 
-// Quote is a signed attestation statement.
+// Quote is a signed attestation statement. VMMeasurement is zero on
+// platform quotes; guest-bound quotes (AttestGuest) fill it with the
+// launch measurement held in the guest's firmware context, binding the
+// statement to one specific VM image.
 type Quote struct {
 	Nonce         []byte
 	HVMeasurement [32]byte
 	IntegrityRoot [32]byte
+	VMMeasurement [32]byte
 	Sig           []byte // ASN.1 ECDSA signature over the digest
 }
 
@@ -35,6 +41,7 @@ func (q *Quote) digest() [32]byte {
 	h.Write(q.Nonce)
 	h.Write(q.HVMeasurement[:])
 	h.Write(q.IntegrityRoot[:])
+	h.Write(q.VMMeasurement[:])
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out
@@ -67,6 +74,21 @@ func (f *Firmware) AttestationKey() (*ecdsa.PublicKey, error) {
 	return &priv.PublicKey, nil
 }
 
+// sign completes a quote with the platform's attestation signature.
+func (f *Firmware) sign(q *Quote) error {
+	priv, err := f.attestPriv()
+	if err != nil {
+		return err
+	}
+	d := q.digest()
+	sig, err := ecdsa.SignASN1(rand.Reader, priv, d[:])
+	if err != nil {
+		return err
+	}
+	q.Sig = sig
+	return nil
+}
+
 // Attest signs a quote over the supplied measurements. Like all guest
 // context commands it honours the authorization guard: once Fidelius owns
 // the SEV interface, the hypervisor cannot mint quotes.
@@ -74,25 +96,53 @@ func (f *Firmware) Attest(nonce []byte, hvMeasurement, integrityRoot [32]byte) (
 	if err := f.guard(); err != nil {
 		return nil, err
 	}
-	priv, err := f.attestPriv()
-	if err != nil {
-		return nil, err
-	}
 	q := &Quote{
 		Nonce:         append([]byte{}, nonce...),
 		HVMeasurement: hvMeasurement,
 		IntegrityRoot: integrityRoot,
 	}
-	d := q.digest()
-	sig, err := ecdsa.SignASN1(rand.Reader, priv, d[:])
-	if err != nil {
+	if err := f.sign(q); err != nil {
 		return nil, err
 	}
-	q.Sig = sig
 	if f.auditing() {
 		f.audit("attest-quote", 0,
 			fmt.Sprintf("quote issued: hv measurement %x.., integrity root %x..",
 				hvMeasurement[:4], integrityRoot[:4]))
+	}
+	return q, nil
+}
+
+// AttestGuest signs a quote additionally bound to one guest: the
+// VMMeasurement field carries the launch measurement accumulated in the
+// guest's firmware context, so a remote client can check the running VM
+// was built from exactly the image it expects before provisioning
+// secrets ("Insecure Until Proven Updated" is the attack this blocks —
+// verify first, then send keys). The context must be past its launch or
+// receive protocol: a running guest retains the measurement RECEIVE_FINISH
+// verified; contexts mid-transport have had it scrubbed or not yet folded.
+func (f *Firmware) AttestGuest(h Handle, nonce []byte, hvMeasurement, integrityRoot [32]byte) (*Quote, error) {
+	c, err := f.ctx(h)
+	if err != nil {
+		return nil, err
+	}
+	if c.state != StateRunning {
+		return nil, fmt.Errorf("%w: attest_guest in %v", ErrBadState, c.state)
+	}
+	q := &Quote{
+		Nonce:         append([]byte{}, nonce...),
+		HVMeasurement: hvMeasurement,
+		IntegrityRoot: integrityRoot,
+		VMMeasurement: [32]byte(c.measure),
+	}
+	if err := f.sign(q); err != nil {
+		return nil, err
+	}
+	f.charge(cycles.SEVCommand)
+	f.command("attest-guest", h)
+	if f.auditing() {
+		f.audit("attest-quote", 0,
+			fmt.Sprintf("guest quote issued: handle %d, vm measurement %x..",
+				uint32(h), c.measure[:4]))
 	}
 	return q, nil
 }

@@ -70,6 +70,13 @@ func (g *Gauge) Value() int64 {
 // (4 cycles) up past a disk seek (~10^6 cycles).
 var CycleBuckets = []uint64{16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
 
+// ServeLatencyBuckets is the bucket layout for request-serving latency
+// histograms: serving latency spans from a ring round trip (~10^4
+// cycles) through seek-dominated puts (~10^6) up to deep open-loop
+// queueing (~10^8), so the range sits two decades above CycleBuckets.
+var ServeLatencyBuckets = []uint64{4096, 16384, 65536, 262144, 1048576,
+	4194304, 16777216, 67108864, 268435456, 1073741824}
+
 // Histogram is a fixed-bucket, lock-free histogram. Bucket i counts
 // observations v <= bounds[i]; one extra overflow bucket counts the rest.
 // Observe is safe for concurrent use and nil-safe.

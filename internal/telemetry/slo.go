@@ -51,6 +51,32 @@ func DefaultObjectives() []Objective {
 	}
 }
 
+// DefaultServeObjectives are the stock serving-latency objectives over
+// the serve-ring arrival-to-response histogram. The bounds assume the
+// seek-dominated put mix of the default scenario at moderate utilisation:
+// a median request waits behind a handful of other tenants' disk-bound
+// puts in the round-robin (~10 seeks), and the p99 tail absorbs open-loop
+// queueing bursts about an order of magnitude deeper. Like
+// DefaultObjectives, they are gross-regression guardrails, not benchmarks
+// — a healthy default run passes with ~2x headroom.
+func DefaultServeObjectives() []Objective {
+	return []Objective{
+		{Name: "serve-p50", Metric: "serve.latency", Quantile: 0.50, Max: 8388608, Target: 0.50, MinCount: 16},
+		{Name: "serve-p99", Metric: "serve.latency", Quantile: 0.99, Max: 134217728, Target: 0.99, MinCount: 16},
+	}
+}
+
+// TenantServeObjectives scopes the stock serve objectives to one tenant's
+// labelled latency histogram (serve.latency{tenant=<name>}).
+func TenantServeObjectives(tenant string) []Objective {
+	objs := DefaultServeObjectives()
+	for i := range objs {
+		objs[i].Name = objs[i].Name + ":" + tenant
+		objs[i].Metric = MetricName(objs[i].Metric, "tenant", tenant)
+	}
+	return objs
+}
+
 // EvaluateSLOs checks every objective against the snapshot.
 func EvaluateSLOs(s Snapshot, objs []Objective) []Evaluation {
 	out := make([]Evaluation, 0, len(objs))

@@ -54,6 +54,8 @@ const (
 	KindMigrateDone        // migration finished (arg1 = rounds, arg2 = downtime cycles)
 	KindAudit              // security audit record appended (detail = class: detail)
 	KindSLOAlert           // SLO burn-rate alert (detail = objective, arg1 = burn rate x1000)
+	KindServeReq           // serve-ring request injected (arg1 = op id, arg2 = op kind)
+	KindServeDone          // serve-ring response completed (arg1 = op id, arg2 = latency cycles)
 
 	numKinds
 )
@@ -83,6 +85,8 @@ var kindNames = [numKinds]string{
 	KindMigrateDone:   "migrate-done",
 	KindAudit:         "audit",
 	KindSLOAlert:      "slo-alert",
+	KindServeReq:      "serve-req",
+	KindServeDone:     "serve-done",
 }
 
 var kindCats = [numKinds]string{
@@ -110,6 +114,8 @@ var kindCats = [numKinds]string{
 	KindMigrateDone:   "migrate",
 	KindAudit:         "audit",
 	KindSLOAlert:      "slo",
+	KindServeReq:      "serve",
+	KindServeDone:     "serve",
 }
 
 // String reports the event name used in exports.
@@ -166,9 +172,13 @@ type Metrics struct {
 	IOCryptSectors      *Counter // io.crypt_sectors
 	AuditRecords        *Counter // audit.records
 	SLOAlerts           *Counter // slo.alerts
+	ServeOps            *Counter // serve.ops: completed serve requests
+	ServeTimeouts       *Counter // serve.timeouts: responses past their deadline
+	ServeRejects        *Counter // serve.rejects: sessions denied at admission
 
 	ExitCycles    *Histogram // vmexit.cycles: per-quantum round-trip cost
 	BlkReqSectors *Histogram // blk.request_sectors: request size distribution
+	ServeLatency  *Histogram // serve.latency: arrival-to-response cycles, all tenants
 }
 
 func newMetrics(r *Registry) Metrics {
@@ -193,8 +203,12 @@ func newMetrics(r *Registry) Metrics {
 		IOCryptSectors: r.Counter("io.crypt_sectors"),
 		AuditRecords:   r.Counter("audit.records"),
 		SLOAlerts:      r.Counter("slo.alerts"),
+		ServeOps:       r.Counter("serve.ops"),
+		ServeTimeouts:  r.Counter("serve.timeouts"),
+		ServeRejects:   r.Counter("serve.rejects"),
 		ExitCycles:     r.Histogram("vmexit.cycles", CycleBuckets),
 		BlkReqSectors:  r.Histogram("blk.request_sectors", []uint64{1, 2, 4, 8, 16, 32, 64, 128}),
+		ServeLatency:   r.Histogram("serve.latency", ServeLatencyBuckets),
 	}
 }
 

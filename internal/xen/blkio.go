@@ -95,8 +95,38 @@ func (x *Xen) AttachBlockDevice(d *Domain, dk *disk.Disk, dataPages int, port ui
 
 	// Persistent grants for ring + data pages, created on behalf of the
 	// front-end during driver initialisation.
-	for i := 0; i <= dataPages; i++ {
-		gfn := uint64(BlkRingGFN + i)
+	pas, err := x.SharePages(d, BlkRingGFN, dataPages+1)
+	if err != nil {
+		return nil, err
+	}
+	b.ringPA = pas[0]
+	b.dataPA = pas[1:]
+
+	x.Events.Bind(d.ID, port, b.handleKick)
+	d.Info.RingGFN = BlkRingGFN
+	d.Info.DataGFN = BlkDataGFN
+	d.Info.DataLen = uint64(dataPages)
+	d.Info.Port = port
+	x.backends[d.ID] = b
+	// Advertise the device in the XenStore, as the toolstack would.
+	prefix := fmt.Sprintf("device/vbd/%d/", d.ID)
+	x.Store.Set(prefix+"ring-gfn", fmt.Sprint(BlkRingGFN))
+	x.Store.Set(prefix+"data-gfn", fmt.Sprint(BlkDataGFN))
+	x.Store.Set(prefix+"data-pages", fmt.Sprint(dataPages))
+	x.Store.Set(prefix+"event-channel", fmt.Sprint(port))
+	return b, nil
+}
+
+// SharePages establishes persistent dom0 grants for count consecutive
+// guest frames starting at startGFN (on behalf of the guest's front-end
+// driver, as the toolstack does during device attach) and returns the
+// backing physical addresses in order. Each page gets a grant-table
+// entry through the interposer — Fidelius's gatekeeper verifies the
+// sharing was pre-declared — and is retyped UseShared in the allocator.
+func (x *Xen) SharePages(d *Domain, startGFN uint64, count int) ([]hw.PhysAddr, error) {
+	pas := make([]hw.PhysAddr, 0, count)
+	for i := 0; i < count; i++ {
+		gfn := startGFN + uint64(i)
 		pfn, ok := d.GPAFrame(gfn)
 		if !ok {
 			return nil, fmt.Errorf("xen: shared gfn %d unbacked", gfn)
@@ -114,26 +144,9 @@ func (x *Xen) AttachBlockDevice(d *Domain, dk *disk.Disk, dataPages int, port ui
 			return nil, err
 		}
 		x.M.Alloc.SetUse(pfn, UseShared, d.ID)
-		if i == 0 {
-			b.ringPA = pfn.Addr()
-		} else {
-			b.dataPA = append(b.dataPA, pfn.Addr())
-		}
+		pas = append(pas, pfn.Addr())
 	}
-
-	x.Events.Bind(d.ID, port, b.handleKick)
-	d.Info.RingGFN = BlkRingGFN
-	d.Info.DataGFN = BlkDataGFN
-	d.Info.DataLen = uint64(dataPages)
-	d.Info.Port = port
-	x.backends[d.ID] = b
-	// Advertise the device in the XenStore, as the toolstack would.
-	prefix := fmt.Sprintf("device/vbd/%d/", d.ID)
-	x.Store.Set(prefix+"ring-gfn", fmt.Sprint(BlkRingGFN))
-	x.Store.Set(prefix+"data-gfn", fmt.Sprint(BlkDataGFN))
-	x.Store.Set(prefix+"data-pages", fmt.Sprint(dataPages))
-	x.Store.Set(prefix+"event-channel", fmt.Sprint(port))
-	return b, nil
+	return pas, nil
 }
 
 // Backend returns the block backend attached to a domain.

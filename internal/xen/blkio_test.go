@@ -21,14 +21,16 @@ func TestPropertyGrantEntryMarshal(t *testing.T) {
 }
 
 func TestPropertyStartInfoMarshal(t *testing.T) {
-	f := func(dom uint16, mem, ring, data, n uint32, port uint32) bool {
+	f := func(dom uint16, mem, ring, data, n uint32, port, serveGFN, servePort uint32) bool {
 		si := &StartInfo{
-			DomID:    DomID(dom),
-			MemPages: uint64(mem),
-			RingGFN:  uint64(ring),
-			DataGFN:  uint64(data),
-			DataLen:  uint64(n),
-			Port:     port,
+			DomID:     DomID(dom),
+			MemPages:  uint64(mem),
+			RingGFN:   uint64(ring),
+			DataGFN:   uint64(data),
+			DataLen:   uint64(n),
+			Port:      port,
+			ServeGFN:  uint64(serveGFN),
+			ServePort: servePort,
 		}
 		got, err := UnmarshalStartInfo(si.Marshal())
 		return err == nil && *got == *si

@@ -21,12 +21,14 @@ const StartInfoSize = 64
 // StartInfo is the boot-parameter page written once during domain build —
 // the target of the paper's write-once policy (Section 5.3).
 type StartInfo struct {
-	DomID    DomID
-	MemPages uint64
-	RingGFN  uint64 // PV block ring page (guest frame number)
-	DataGFN  uint64 // first PV block data page
-	DataLen  uint64 // number of data pages
-	Port     uint32 // event channel port for block I/O
+	DomID     DomID
+	MemPages  uint64
+	RingGFN   uint64 // PV block ring page (guest frame number)
+	DataGFN   uint64 // first PV block data page
+	DataLen   uint64 // number of data pages
+	Port      uint32 // event channel port for block I/O
+	ServeGFN  uint64 // first serve-ring page (0 = no serving device)
+	ServePort uint32 // event channel doorbell port for the serve ring
 }
 
 // Marshal encodes the start info.
@@ -43,6 +45,8 @@ func (si *StartInfo) Marshal() []byte {
 	put(24, si.DataGFN)
 	put(32, si.DataLen)
 	put(40, uint64(si.Port))
+	put(48, si.ServeGFN)
+	put(56, uint64(si.ServePort))
 	return b
 }
 
@@ -59,12 +63,14 @@ func UnmarshalStartInfo(b []byte) (*StartInfo, error) {
 		return v
 	}
 	return &StartInfo{
-		DomID:    DomID(get(0)),
-		MemPages: get(8),
-		RingGFN:  get(16),
-		DataGFN:  get(24),
-		DataLen:  get(32),
-		Port:     uint32(get(40)),
+		DomID:     DomID(get(0)),
+		MemPages:  get(8),
+		RingGFN:   get(16),
+		DataGFN:   get(24),
+		DataLen:   get(32),
+		Port:      uint32(get(40)),
+		ServeGFN:  get(48),
+		ServePort: uint32(get(56)),
 	}, nil
 }
 

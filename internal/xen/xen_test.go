@@ -426,7 +426,7 @@ func TestPVBlockLargeTransferChunks(t *testing.T) {
 }
 
 func TestStartInfoRoundTrip(t *testing.T) {
-	si := &StartInfo{DomID: 3, MemPages: 64, RingGFN: 1, DataGFN: 2, DataLen: 4, Port: 9}
+	si := &StartInfo{DomID: 3, MemPages: 64, RingGFN: 1, DataGFN: 2, DataLen: 4, Port: 9, ServeGFN: 7, ServePort: 11}
 	got, err := UnmarshalStartInfo(si.Marshal())
 	if err != nil {
 		t.Fatal(err)
