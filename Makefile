@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke benchdiff vet fmt check fuzz stress migrate trace examples tables attacks xsa demo serve clean
+.PHONY: all build test race bench benchsmoke benchdiff vet fmt check fuzz stress lockrank migrate trace examples tables attacks xsa demo serve clean
 
 all: build test
 
-check: build vet test race stress fuzz benchsmoke
+check: build vet test lockrank race stress fuzz benchsmoke
 	$(GO) run ./examples/migration
 	$(GO) run ./cmd/fidelius-serve -tenants 2 -clients 16 -duration 100 -tamper 1
+
+# The whole test suite with the debug lock-rank checker armed: every
+# ranked acquisition is validated against the documented lock order
+# (domain -> shared shards -> gate -> registries -> bus -> leaves), and
+# any inversion panics with both ranks named.
+lockrank:
+	FIDELIUS_LOCKRANK=1 $(GO) test ./...
 
 build:
 	$(GO) build ./...
@@ -25,10 +32,11 @@ fuzz:
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzUnmarshalMigrationBundle -fuzztime 5s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzUnmarshalGEKBundle -fuzztime 5s
 
-# Concurrency stress: the parallel-scheduling and shared-memory-path
-# suites, repeated under the race detector at several core counts so
-# both the contended and the fully serialized interleavings get
-# exercised.
+# Concurrency stress: the parallel-scheduling, shared-memory-path,
+# lifecycle-churn and grant/event-storm suites, repeated under the race
+# detector at several core counts so both the contended and the fully
+# serialized interleavings get exercised. The suites arm the lock-rank
+# checker themselves; FIDELIUS_LOCKRANK=1 extends it to every test.
 # (-short skips the single-domain parity guard, which is a wall-clock
 # benchmark, not a race hunt; plain `make race` still runs it once.)
 stress:
@@ -43,7 +51,7 @@ migrate:
 
 # Full benchmark run, captured as a JSON artifact for regression diffing.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_7.json
+	$(GO) test -run '^$$' -bench=. -benchmem . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_8.json
 
 # One-iteration pass over every benchmark: catches bit-rot in the
 # benchmark harness without paying for a full measurement run.
@@ -53,8 +61,8 @@ benchsmoke:
 # Regression gate between two captured benchmark artifacts: fails when
 # any ns/op delta exceeds the threshold percentage, e.g.
 # `make benchdiff BENCH_OLD=BENCH_4.json BENCH_NEW=BENCH_5.json`.
-BENCH_OLD ?= BENCH_5.json
-BENCH_NEW ?= BENCH_7.json
+BENCH_OLD ?= BENCH_7.json
+BENCH_NEW ?= BENCH_8.json
 BENCH_THRESHOLD ?= 10
 benchdiff:
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)

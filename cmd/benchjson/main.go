@@ -145,6 +145,14 @@ func simUnit(unit string) bool {
 	return strings.HasSuffix(unit, "cycles")
 }
 
+// wallFloorNs is the ns/op below which wall-clock deltas are never
+// gated. Benchmarks like ShadowVsTrap do all their work outside the
+// timer and exist only for their deterministic cycle metrics; their
+// timed loop is empty, so ns/op is sub-nanosecond loop overhead whose
+// run-to-run ratio is meaningless (0.4ns vs 0.7ns is a "75% regression"
+// of nothing). Every real benchmark in the suite is microseconds-plus.
+const wallFloorNs = 100
+
 // sameEnv reports whether two artifacts were captured in comparable
 // environments, making wall-clock ns/op deltas meaningful. Artifacts
 // from before environment stamping (empty GoVersion) never compare.
@@ -231,10 +239,13 @@ func writeDiff(w io.Writer, deltas []Delta, threshold float64, gateWall bool) bo
 		default:
 			flag := ""
 			if d.NsPct > threshold {
-				if gateWall {
+				switch {
+				case d.OldNs < wallFloorNs && d.NewNs < wallFloorNs:
+					flag = "  (sub-resolution, not gated)"
+				case gateWall:
 					flag = "  REGRESSION"
 					regressed = true
-				} else {
+				default:
 					flag = "  (wall-clock, not gated)"
 				}
 			}

@@ -102,6 +102,32 @@ func TestDiffWallClockUngatedAcrossEnvironments(t *testing.T) {
 	}
 }
 
+func TestDiffSubResolutionWallClockUngated(t *testing.T) {
+	// An empty-timed-loop benchmark (all work outside the timer, results
+	// reported as cycle metrics): sub-nanosecond ns/op doubling is loop
+	// overhead, not a regression.
+	oldRep := mkReport(map[string]float64{"BenchEmpty": 0.4}, map[string]float64{"BenchEmpty": 0})
+	newRep := mkReport(map[string]float64{"BenchEmpty": 0.8}, map[string]float64{"BenchEmpty": 0})
+	deltas := diffReports(oldRep, newRep)
+
+	var sb strings.Builder
+	if regressed := writeDiff(&sb, deltas, 10, true); regressed {
+		t.Error("sub-resolution ns/op delta must not gate even in the same environment")
+	}
+	if !strings.Contains(sb.String(), "sub-resolution") {
+		t.Error("sub-resolution delta should be flagged as such in the table")
+	}
+	// The floor does not exempt real benchmarks: one above the floor on
+	// either side still gates.
+	deltas = diffReports(
+		mkReport(map[string]float64{"BenchReal": 50}, map[string]float64{"BenchReal": 0}),
+		mkReport(map[string]float64{"BenchReal": 200}, map[string]float64{"BenchReal": 0}))
+	sb.Reset()
+	if regressed := writeDiff(&sb, deltas, 10, true); !regressed {
+		t.Error("a regression crossing the floor must still gate")
+	}
+}
+
 func TestDiffSimulatedCycleMetricsAlwaysGate(t *testing.T) {
 	mk := func(cycles float64) Report {
 		return Report{Benchmarks: []Result{{

@@ -243,9 +243,11 @@ func (p *Platform) Schedule(doms []*Domain) map[xen.DomID]error { return p.X.Sch
 
 // ScheduleParallel runs several started VMs concurrently, one runner per
 // VM bounded by width scheduling slots (width <= 0 picks GOMAXPROCS).
-// Guest code overlaps in time; all hypervisor work serializes under the
-// big hypervisor lock. Use Schedule when deterministic interleaving
-// matters (the attack demos and golden traces do).
+// Guest code overlaps in time and each domain's quanta run under that
+// domain's own lock; domains contend only at genuine sharing points —
+// grant operations, event signalling, XenStore, the gatekeeper's trusted
+// state — each behind its own lock. Use Schedule when deterministic
+// interleaving matters (the attack demos and golden traces do).
 func (p *Platform) ScheduleParallel(doms []*Domain, width int) map[xen.DomID]error {
 	return p.X.ScheduleParallel(doms, width)
 }
@@ -338,7 +340,7 @@ func (p *Platform) Violations() []Violation {
 	if p.F == nil {
 		return nil
 	}
-	return p.F.Violations
+	return p.F.ViolationLog()
 }
 
 // DumpViolations writes the Fidelius audit log in a human-readable form.

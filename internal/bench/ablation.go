@@ -118,7 +118,7 @@ func MeasureNPTAblation(memPages int) (NPTAblation, error) {
 			return 0, 0, 0, err
 		}
 		runc = m.Ctl.Cycles.Sub(r0)
-		npf = x.ExitCounts[cpu.ExitNPF]
+		npf = x.ExitCount(cpu.ExitNPF)
 		return boot, runc, npf, nil
 	}
 	var a NPTAblation

@@ -112,9 +112,9 @@ func TestSchedulerCycleAttribution(t *testing.T) {
 	if errs := p.X.Schedule([]*xen.Domain{light, heavy}); len(errs) != 0 {
 		t.Fatal(errs)
 	}
-	if p.X.CycleAccount[heavy.ID] < 5*p.X.CycleAccount[light.ID] {
+	if p.X.DomainCycles(heavy.ID) < 5*p.X.DomainCycles(light.ID) {
 		t.Fatalf("attribution wrong: heavy=%d light=%d",
-			p.X.CycleAccount[heavy.ID], p.X.CycleAccount[light.ID])
+			p.X.DomainCycles(heavy.ID), p.X.DomainCycles(light.ID))
 	}
 }
 

@@ -129,6 +129,6 @@ func (f *Fidelius) LaunchVMFromGEK(name string, memPages int, b *GEKBundle) (*xe
 	if err := f.M.FW.Activate(h, d.ASID); err != nil {
 		return nil, err
 	}
-	f.vms[d.ID] = &VMState{Dom: d, Handle: h, GEKReady: true}
+	f.storeVM(&VMState{Dom: d, Handle: h, GEKReady: true})
 	return d, nil
 }

@@ -9,6 +9,7 @@ import (
 	"fidelius/internal/cycles"
 	"fidelius/internal/hw"
 	"fidelius/internal/isa"
+	"fidelius/internal/lockrank"
 	"fidelius/internal/mmu"
 	"fidelius/internal/sev"
 	"fidelius/internal/telemetry"
@@ -90,8 +91,18 @@ type Fidelius struct {
 	// NPT C-bits so guest memory is SME-encrypted (Section 7.1).
 	EncryptAll bool
 
+	// vmu (lock rank: leaf) guards Violations. It is a leaf because
+	// violations are recorded from gate contexts at any point in the lock
+	// order — policy hooks, page-fault mediation, VMCB verification — and
+	// the record itself acquires nothing further. Concurrent readers use
+	// ViolationLog; serial tests may read Violations directly.
+	vmu        lockrank.Mutex
 	Violations []Violation
 
+	// shadows and vms are trusted-context state, guarded by the machine's
+	// gate lock like the rest of Fidelius's private structures. The
+	// lifecycle entry points (which run without the gate lock held) go
+	// through lookupVM/storeVM.
 	shadows map[xen.DomID]*shadowState
 	vms     map[xen.DomID]*VMState
 
@@ -127,6 +138,7 @@ func Enable(x *xen.Xen) (*Fidelius, error) {
 		writeOnce: make(map[hw.PFN]*onceVec),
 		execCount: make(map[uint64]int),
 	}
+	f.vmu.Init(lockrank.RankLeaf, nil)
 
 	// 1. Measure the hypervisor code and verify monopolisation.
 	code, err := x.M.CodeRegion()
@@ -330,7 +342,9 @@ func GateCostBreakdown() (tlbFlush, ptWrite uint64) {
 // the telemetry hub (counter always; event when tracing) — the "further
 // auditing" surface of Section 5.3.
 func (f *Fidelius) recordViolation(kind, detail string) {
+	f.vmu.Lock()
 	f.Violations = append(f.Violations, Violation{Kind: kind, Detail: detail})
+	f.vmu.Unlock()
 	h := f.hub()
 	h.M.Violations.Inc()
 	if h.Tracing() {
@@ -435,8 +449,11 @@ func (f *Fidelius) gate3(pageVA uint64, saved mmu.PTE, exec func() error) error 
 	})
 }
 
-// BenchGate1 measures the type 1 gate transition cost (Section 7.2).
+// BenchGate1 measures the type 1 gate transition cost (Section 7.2). Like
+// any other gate traversal it runs under the gate lock.
 func (f *Fidelius) BenchGate1(n int) uint64 {
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	start := f.M.Ctl.Cycles.Total()
 	for i := 0; i < n; i++ {
 		_ = f.gate1(func() error { return nil })
@@ -456,6 +473,8 @@ func (f *Fidelius) BenchGate2(n int) uint64 {
 // BenchGate3 measures the type 3 gate (add new mapping) cost, excluding
 // the gated instruction itself.
 func (f *Fidelius) BenchGate3(n int) uint64 {
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	start := f.M.Ctl.Cycles.Total()
 	for i := 0; i < n; i++ {
 		_ = f.gate3(f.M.Stubs.VmrunPg, f.savedVmrunPTE, func() error { return nil })
@@ -586,6 +605,29 @@ func (f *Fidelius) ExecPrivStub(addr, r0 uint64) error {
 
 // VMState returns Fidelius's record for a protected domain.
 func (f *Fidelius) VM(d *xen.Domain) (*VMState, bool) {
-	st, ok := f.vms[d.ID]
+	return f.lookupVM(d.ID)
+}
+
+// lookupVM reads a VM record under the gate lock (the map is trusted
+// state shared with the gatekeeper's hot paths).
+func (f *Fidelius) lookupVM(id xen.DomID) (*VMState, bool) {
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
+	st, ok := f.vms[id]
 	return st, ok
+}
+
+// storeVM publishes a VM record under the gate lock.
+func (f *Fidelius) storeVM(st *VMState) {
+	f.M.Host.Lock()
+	f.vms[st.Dom.ID] = st
+	f.M.Host.Unlock()
+}
+
+// ViolationLog returns a copy of the audit log, safe against concurrent
+// gate activity.
+func (f *Fidelius) ViolationLog() []Violation {
+	f.vmu.Lock()
+	defer f.vmu.Unlock()
+	return append([]Violation{}, f.Violations...)
 }

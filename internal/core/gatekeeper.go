@@ -6,6 +6,7 @@ import (
 	"fidelius/internal/cycles"
 	"fidelius/internal/disk"
 	"fidelius/internal/hw"
+	"fidelius/internal/lockrank"
 	"fidelius/internal/mmu"
 	"fidelius/internal/telemetry"
 	"fidelius/internal/xen"
@@ -15,6 +16,14 @@ import (
 // resource-management seam: every critical-resource update the hypervisor
 // wants to make arrives here, passes through a gate, and is checked
 // against the PIT and GIT policies before (or instead of) being applied.
+//
+// Locking: the trusted context's own state (PIT, GIT, shadows, write-once
+// vectors, VM records) and the shared-machine resources the gates operate
+// on (the boot CPU's register file, the host page table, the grant bytes)
+// are all guarded by the machine's gate lock. Every exported method below
+// takes it at its top — except VMRun, whose caller (the hypervisor's
+// vmrun stub) already holds it — so concurrent quanta of different
+// domains serialize here and only here.
 type Gatekeeper struct {
 	F *Fidelius
 }
@@ -26,19 +35,26 @@ func (gk *Gatekeeper) Name() string { return gk.F.Name() }
 
 // OnVMExit implements xen.Interposer: shadow and mask.
 func (gk *Gatekeeper) OnVMExit(d *xen.Domain, vmcbPA hw.PhysAddr) error {
+	gk.F.M.Host.Lock()
+	defer gk.F.M.Host.Unlock()
 	return gk.F.onVMExit(d, vmcbPA)
 }
 
 // PreVMRun implements xen.Interposer: verify and restore.
 func (gk *Gatekeeper) PreVMRun(d *xen.Domain, vmcbPA hw.PhysAddr) error {
+	gk.F.M.Host.Lock()
+	defer gk.F.M.Host.Unlock()
 	return gk.F.preVMRun(d, vmcbPA)
 }
 
 // VMRun implements xen.Interposer: the type 3 gate around the unmapped
 // VMRUN stub. The sanity check between remap and execution validates that
-// the VMCB address names a real VMCB page.
+// the VMCB address names a real VMCB page. The hypervisor invokes it with
+// the gate lock already held (the stub runs on the shared boot CPU), so
+// unlike the other methods it asserts rather than acquires.
 func (gk *Gatekeeper) VMRun(vmcbPA hw.PhysAddr) error {
 	f := gk.F
+	lockrank.AssertHeld(lockrank.RankGate)
 	e, err := f.PIT.Get(vmcbPA.Frame())
 	if err != nil {
 		return err
@@ -65,6 +81,8 @@ func (gk *Gatekeeper) VMRun(vmcbPA hw.PhysAddr) error {
 // and write-protect it before it can carry any mapping.
 func (gk *Gatekeeper) NewPTPage(d *xen.Domain, pfn hw.PFN) error {
 	f := gk.F
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	owner := xen.Dom0
 	use := xen.UseXenPageTable
 	var asid hw.ASID
@@ -81,6 +99,8 @@ func (gk *Gatekeeper) NewPTPage(d *xen.Domain, pfn hw.PFN) error {
 // policy enforcement (Section 5.2).
 func (gk *Gatekeeper) WritePTE(d *xen.Domain, slot hw.PhysAddr, val mmu.PTE) error {
 	f := gk.F
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	return f.gate1(func() error {
 		if err := f.checkPTEWrite(d, slot, val); err != nil {
 			return err
@@ -216,6 +236,8 @@ func (f *Fidelius) readPTE(slot hw.PhysAddr) (mmu.PTE, error) {
 // policy enforcement (Section 5.2).
 func (gk *Gatekeeper) WriteGrant(d *xen.Domain, slot hw.PhysAddr, entry xen.GrantEntry) error {
 	f := gk.F
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	return f.gate1(func() error {
 		if err := f.checkGrantWrite(d, slot, entry); err != nil {
 			return err
@@ -298,6 +320,8 @@ func (f *Fidelius) gitCoversPFN(e GITEntry, pfn hw.PFN) bool {
 // trusted context — the hypervisor never touches the GIT.
 func (gk *Gatekeeper) PreSharing(initiator, target xen.DomID, gfn, count, flags uint64) error {
 	f := gk.F
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	d, ok := f.X.Dom(initiator)
 	if !ok {
 		return f.violation("git", "pre_sharing_op from unknown domain")
@@ -329,6 +353,8 @@ func (gk *Gatekeeper) PreSharing(initiator, target xen.DomID, gfn, count, flags 
 // host SME key — the Section 7.1 methodology behind "Fidelius-enc".
 func (gk *Gatekeeper) EnableSME(d *xen.Domain) error {
 	f := gk.F
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	f.EncryptAll = true
 	for gfn := uint64(0); gfn < uint64(d.MemPages); gfn++ {
 		pfn, ok := d.GPAFrame(gfn)
@@ -386,6 +412,8 @@ func (f *Fidelius) encryptFrameInPlace(pfn hw.PFN) error {
 // area (TEK); for reads, RECEIVE_UPDATE goes the other way.
 func (gk *Gatekeeper) IOCrypt(d *xen.Domain, write bool, mdGFN, lba, count, sharedIdx uint64) error {
 	f := gk.F
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	st := f.vms[d.ID]
 	if st == nil || (!st.IOSessionReady && !st.GEKReady) {
 		return f.violation("io", "SEV I/O session not established for this domain")
@@ -473,6 +501,8 @@ func (f *Fidelius) sharedSectorPA(d *xen.Domain, sectorIdx uint64) (hw.PhysAddr,
 // write-once policy (Section 5.3).
 func (gk *Gatekeeper) RegisterWriteOnce(pfn hw.PFN) error {
 	f := gk.F
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	f.writeOnce[pfn] = &onceVec{}
 	if err := f.PIT.Set(pfn, MakePITEntry(xen.UseXenData, xen.Dom0, 0)); err != nil {
 		return err
@@ -484,6 +514,8 @@ func (gk *Gatekeeper) RegisterWriteOnce(pfn hw.PFN) error {
 // restore hypervisor mappings for reclaimed frames (Section 4.3.8).
 func (gk *Gatekeeper) DomainDestroyed(d *xen.Domain) error {
 	f := gk.F
+	f.M.Host.Lock()
+	defer f.M.Host.Unlock()
 	for _, pfn := range d.Frames {
 		if pfn == 0 {
 			continue
@@ -513,6 +545,20 @@ func (gk *Gatekeeper) DomainDestroyed(d *xen.Domain) error {
 	// at the domain's first VMRUN).
 	if err := f.PIT.Clear(d.VMCBPFN); err != nil {
 		return err
+	}
+	// The start-info page leaves the write-once policy with its frame:
+	// teardown returns it to the allocator, and a fresh owner must not
+	// inherit a spent write budget or a read-only host mapping.
+	if si := d.StartInfoPFN; si != 0 {
+		if _, ok := f.writeOnce[si]; ok {
+			delete(f.writeOnce, si)
+			if err := f.PIT.Clear(si); err != nil {
+				return err
+			}
+			if err := f.trusted(func() error { return f.unprotect(si) }); err != nil {
+				return err
+			}
+		}
 	}
 	if err := f.GIT.RemoveFor(d.ID); err != nil {
 		return err

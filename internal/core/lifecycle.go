@@ -118,7 +118,7 @@ func (f *Fidelius) LaunchVM(name string, memPages int, b *GuestBundle) (*xen.Dom
 	if err := f.M.FW.Activate(h, d.ASID); err != nil {
 		return nil, err
 	}
-	f.vms[d.ID] = &VMState{Dom: d, Handle: h}
+	f.storeVM(&VMState{Dom: d, Handle: h})
 	return d, nil
 }
 
@@ -134,7 +134,7 @@ func (f *Fidelius) KernelBase(d *xen.Domain, b *GuestBundle) uint64 {
 // a common transport key agreed platform-to-itself.
 func (f *Fidelius) SetupIOSession(d *xen.Domain) error {
 	defer f.enterTrusted()()
-	st := f.vms[d.ID]
+	st, _ := f.lookupVM(d.ID)
 	if st == nil {
 		return fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
 	}
@@ -195,7 +195,7 @@ func (f *Fidelius) AttachProtectedDisk(d *xen.Domain, dk *disk.Disk, dataPages i
 // scrubs the PIT and GIT through the DomainDestroyed hook.
 func (f *Fidelius) ShutdownVM(d *xen.Domain) error {
 	defer f.enterTrusted()()
-	st := f.vms[d.ID]
+	st, _ := f.lookupVM(d.ID)
 	if st == nil {
 		return fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
 	}
@@ -236,7 +236,7 @@ type MigrationBundle struct {
 // migration, exactly as the paper notes.
 func (f *Fidelius) MigrateOut(d *xen.Domain, targetPub *ecdh.PublicKey) (*MigrationBundle, error) {
 	defer f.enterTrusted()()
-	st := f.vms[d.ID]
+	st, _ := f.lookupVM(d.ID)
 	if st == nil {
 		return nil, fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
 	}
@@ -306,7 +306,7 @@ func (f *Fidelius) MigrateIn(bundle *MigrationBundle, originPub *ecdh.PublicKey)
 	if err := f.M.FW.Activate(h, d.ASID); err != nil {
 		return nil, err
 	}
-	f.vms[d.ID] = &VMState{Dom: d, Handle: h}
+	f.storeVM(&VMState{Dom: d, Handle: h})
 	return d, nil
 }
 
@@ -330,7 +330,7 @@ func (f *Fidelius) Attest(nonce []byte) (*sev.Quote, error) {
 // layer's admission handshake).
 func (f *Fidelius) AttestVM(d *xen.Domain, nonce []byte) (*sev.Quote, error) {
 	defer f.enterTrusted()()
-	st := f.vms[d.ID]
+	st, _ := f.lookupVM(d.ID)
 	if st == nil {
 		return nil, fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
 	}

@@ -116,7 +116,7 @@ func (s *liveSource) Cycles() uint64 {
 // cfg.StopAndCopy selects the offline baseline over the same transport,
 // for downtime comparisons. A nil cfg.Hub defaults to this machine's hub.
 func (f *Fidelius) MigrateOutLive(d *xen.Domain, targetPub *ecdh.PublicKey, conn migrate.Conn, cfg migrate.Config) (*migrate.Stats, error) {
-	st := f.vms[d.ID]
+	st, _ := f.lookupVM(d.ID)
 	if st == nil {
 		return nil, fmt.Errorf("core: domain %d is not a Fidelius-protected VM", d.ID)
 	}
@@ -186,7 +186,7 @@ func (t *liveTarget) ReceiveFinish(mvm sev.Measurement) error {
 	if err := t.f.M.FW.Activate(t.h, t.d.ASID); err != nil {
 		return err
 	}
-	t.f.vms[t.d.ID] = &VMState{Dom: t.d, Handle: t.h}
+	t.f.storeVM(&VMState{Dom: t.d, Handle: t.h})
 	t.active = true
 	return nil
 }

@@ -22,19 +22,19 @@ type Report struct {
 	TotalCycles   uint64
 }
 
-// Snapshot collects the current report.
+// Snapshot collects the current report. The VM inventory is read under
+// the gate lock and the audit log under its leaf lock, so snapshots are
+// safe while domains run in parallel.
 func (f *Fidelius) Snapshot() Report {
 	r := Report{
 		Config:      f.Name(),
 		Measurement: f.HypervisorMeasurement,
 		Gates:       f.Stats(),
-		ExitCounts:  make(map[cpu.ExitReason]uint64, len(f.X.ExitCounts)),
-		Violations:  append([]Violation{}, f.Violations...),
+		ExitCounts:  f.X.ExitCountsSnapshot(),
+		Violations:  f.ViolationLog(),
 		TotalCycles: f.M.Ctl.Cycles.Total(),
 	}
-	for k, v := range f.X.ExitCounts {
-		r.ExitCounts[k] = v
-	}
+	f.M.Host.Lock()
 	for _, st := range f.vms {
 		name := st.Dom.Name
 		switch {
@@ -45,6 +45,7 @@ func (f *Fidelius) Snapshot() Report {
 		}
 		r.ProtectedVMs = append(r.ProtectedVMs, name)
 	}
+	f.M.Host.Unlock()
 	sort.Strings(r.ProtectedVMs)
 	if f.M.Ctl.Integ != nil {
 		root := f.M.Ctl.Integ.Root()

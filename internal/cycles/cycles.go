@@ -144,6 +144,12 @@ const (
 	// EventChannelSignal is the cost of kicking an event channel.
 	EventChannelSignal = 600
 
+	// DFFlush is the cost of the DF_FLUSH firmware command: a data-fabric
+	// write-back/invalidate that scrubs every stale cache line tagged with
+	// a deactivated ASID, the step real SEV requires before an ASID may be
+	// activated again (CROSSLINE shows skipping it breaks isolation).
+	DFFlush = 20000
+
 	// IntegrityCheck is the per-line cost of the optional Bonsai-Merkle
 	// integrity engine (the Section 8 hardware suggestion).
 	IntegrityCheck = 40

@@ -1,9 +1,10 @@
 package mmu
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"fidelius/internal/hw"
+	"fidelius/internal/lockrank"
 )
 
 // ShootdownBus broadcasts TLB invalidations to every registered core TLB —
@@ -13,12 +14,22 @@ import (
 // boot CPU at machine build, per-domain cores in ScheduleParallel) and
 // unregister when they go offline.
 //
-// Lock order: the bus mutex is taken before the per-TLB mutexes, and
-// nothing acquires the bus while holding a TLB lock.
+// Lock order: the bus mutex (lock rank: bus) sits below every hypervisor
+// lock and above only the per-TLB leaf mutexes; nothing acquires the bus
+// while holding a TLB lock.
 type ShootdownBus struct {
-	lock   sync.Mutex
+	lock   lockrank.Mutex
 	tlbs   []*TLB
 	bcasts uint64
+}
+
+// SetLockInfo ranks the bus lock and wires its contention counter. The
+// machine calls it once at build, before any concurrent use.
+func (b *ShootdownBus) SetLockInfo(rank lockrank.Rank, waits *atomic.Uint64) {
+	if b == nil {
+		return
+	}
+	b.lock.Init(rank, waits)
 }
 
 // Register adds a core's TLB to the broadcast set.

@@ -35,7 +35,7 @@ type genOp struct {
 
 // loadGen holds one tenant's precomputed open-loop schedule plus the
 // injection cursor state. All mutation happens in the event-channel
-// handlers (under the hypervisor lock); construction is setup-time.
+// handlers (under the machine's gate lock); construction is setup-time.
 type loadGen struct {
 	ops      []genOp
 	cursor   int   // first op not yet injected (ops before it are all injected)

@@ -132,8 +132,8 @@ func (c Config) withDefaults() Config {
 
 // tenant is one tenant VM plus its client-side session state. All fields
 // below the setup section are mutated only inside the domain's event
-// handlers — which the hypervisor runs under its big lock — or after
-// scheduling has finished.
+// handlers — which the event bus invokes under the machine's gate lock —
+// or after scheduling has finished.
 type tenant struct {
 	idx    int
 	name   string
@@ -325,8 +325,8 @@ func (t *tenant) sessionDone() bool {
 // fillHandler services the guest's doorbell: it injects every due
 // request (admission key first, then open-loop arrivals) into the ring
 // frames and publishes the batch count, setting the stop flag once the
-// session has fully drained. Runs in host context under the hypervisor
-// lock, while the guest vCPU is parked in the hypercall exit.
+// session has fully drained. Runs in host context under the machine's
+// gate lock, while the guest vCPU is parked in the hypercall exit.
 func (s *Service) fillHandler(t *tenant) func() error {
 	return func() error {
 		hub := s.hub()
@@ -390,7 +390,7 @@ func (s *Service) fillHandler(t *tenant) func() error {
 // frames to pending ops, records arrival-to-response latency into the
 // global and per-tenant histograms, emits the serve-request span parented
 // under the scheduler quantum that completed it, and accounts deadlines
-// and response correctness. Runs under the hypervisor lock.
+// and response correctness. Runs under the machine's gate lock.
 func (s *Service) drainHandler(t *tenant) func() error {
 	return func() error {
 		hub := s.hub()

@@ -1,0 +1,122 @@
+package sev
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"fidelius/internal/hw"
+	"fidelius/internal/lockrank"
+)
+
+// DefaultASIDLimit is the number of simultaneously live guest ASIDs the
+// pool hands out by default — real SEV parts expose a small fixed count
+// (254 on the paper's EPYC generation, ASID 0 being the host), which is
+// exactly why fleet-scale lifecycle churn must recycle ASIDs instead of
+// minting forever.
+const DefaultASIDLimit = 254
+
+// ASIDPool is the concurrent-safe ASID allocator (lock rank: asid-pool).
+// It replaces the hypervisor's old monotonically increasing counter with
+// the real resource discipline:
+//
+//   - Alloc prefers an ASID that is already clean (recycled after a
+//     DF_FLUSH), then mints a never-used one, and only when the space is
+//     exhausted batches a flush over every retired ASID to make the dirty
+//     list reusable.
+//   - Retire returns a domain's ASID at decommission time; it stays
+//     dirty — unusable — until the pool's flush callback (the firmware's
+//     DF_FLUSH) has scrubbed the fabric.
+//
+// The pool never hands out a dirty ASID, so the firmware's Activate-time
+// ErrASIDDirty refusal is a defense-in-depth backstop, not a path normal
+// lifecycle churn ever takes.
+type ASIDPool struct {
+	mu    lockrank.Mutex
+	limit int
+	next  hw.ASID
+	clean []hw.ASID
+	dirty []hw.ASID
+
+	// flush scrubs every retired ASID in one batch (wired to the
+	// firmware's DFFlush). Called with the pool lock held, which is why
+	// the pool ranks below the firmware tables.
+	flush func() error
+
+	flushes  atomic.Uint64
+	recycles atomic.Uint64
+}
+
+// NewASIDPool builds a pool of ASIDs 1..limit (0 or negative selects
+// DefaultASIDLimit) over the given batch-flush callback.
+func NewASIDPool(limit int, flush func() error) *ASIDPool {
+	if limit <= 0 {
+		limit = DefaultASIDLimit
+	}
+	p := &ASIDPool{limit: limit, next: 1, flush: flush}
+	p.mu.Init(lockrank.RankASIDPool, nil)
+	return p
+}
+
+// SetLockInfo re-ranks the pool lock with a shared contention counter.
+func (p *ASIDPool) SetLockInfo(rank lockrank.Rank, waits *atomic.Uint64) {
+	p.mu.Init(rank, waits)
+}
+
+// Alloc returns an ASID that is safe to activate: clean, fresh, or
+// recycled behind a DF_FLUSH. It fails only when every ASID is live.
+func (p *ASIDPool) Alloc() (hw.ASID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.clean); n > 0 {
+		a := p.clean[n-1]
+		p.clean = p.clean[:n-1]
+		p.recycles.Add(1)
+		return a, nil
+	}
+	if int(p.next) <= p.limit {
+		a := p.next
+		p.next++
+		return a, nil
+	}
+	if len(p.dirty) == 0 {
+		return 0, fmt.Errorf("sev: all %d asids live", p.limit)
+	}
+	if p.flush != nil {
+		if err := p.flush(); err != nil {
+			return 0, fmt.Errorf("sev: df_flush for asid recycle: %w", err)
+		}
+	}
+	p.flushes.Add(1)
+	p.clean = append(p.clean, p.dirty...)
+	p.dirty = p.dirty[:0]
+	n := len(p.clean)
+	a := p.clean[n-1]
+	p.clean = p.clean[:n-1]
+	p.recycles.Add(1)
+	return a, nil
+}
+
+// Retire returns an ASID to the pool's dirty list. It becomes
+// allocatable again only after the next batch flush.
+func (p *ASIDPool) Retire(a hw.ASID) {
+	if a == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.dirty = append(p.dirty, a)
+	p.mu.Unlock()
+}
+
+// Flushes reports how many batch DF_FLUSH recycles the pool has issued.
+func (p *ASIDPool) Flushes() uint64 { return p.flushes.Load() }
+
+// Recycles reports how many allocations were served from recycled (as
+// opposed to never-used) ASIDs.
+func (p *ASIDPool) Recycles() uint64 { return p.recycles.Load() }
+
+// Live reports how many ASIDs are currently handed out.
+func (p *ASIDPool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.next) - 1 - len(p.clean) - len(p.dirty)
+}

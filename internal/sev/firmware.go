@@ -5,9 +5,11 @@ import (
 	"crypto/hmac"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"fidelius/internal/cycles"
 	"fidelius/internal/hw"
+	"fidelius/internal/lockrank"
 	"fidelius/internal/parallel"
 	"fidelius/internal/telemetry"
 )
@@ -58,6 +60,7 @@ var (
 	ErrBadHandle      = errors.New("sev: invalid guest handle")
 	ErrBadState       = errors.New("sev: command illegal in current state")
 	ErrASIDInUse      = errors.New("sev: asid already active for another handle")
+	ErrASIDDirty      = errors.New("sev: asid retired without DF_FLUSH")
 	ErrActive         = errors.New("sev: guest still activated")
 	ErrBadMeasurement = errors.New("sev: measurement mismatch")
 	ErrBadTag         = errors.New("sev: transport tag verification failed")
@@ -105,9 +108,25 @@ type Firmware struct {
 	ctl         *hw.Controller
 	priv        *ecdh.PrivateKey
 	initialized bool
-	ctxs        map[Handle]*Context
-	next        Handle
-	active      map[hw.ASID]Handle
+
+	// mu (lock rank: firmware) guards the shared tables below — the
+	// context directory, the handle counter, the ASID bindings and the
+	// dirty-ASID set — so firmware commands from concurrent lifecycle
+	// operations cannot corrupt them. Commands against the SAME handle
+	// are still the caller's job to serialize: the returned *Context is
+	// mutated outside the lock, exactly as real PSP mailboxes process
+	// one command per guest at a time.
+	mu     lockrank.Mutex
+	ctxs   map[Handle]*Context
+	next   Handle
+	active map[hw.ASID]Handle
+
+	// dirty records ASIDs that were deactivated and not yet scrubbed by
+	// DF_FLUSH. Real SEV refuses to ACTIVATE such an ASID because stale
+	// cache lines tagged with it would decrypt under the new guest's key
+	// — the "security-by-crash" reuse surface CROSSLINE exploits. The
+	// model enforces the same refusal.
+	dirty map[hw.ASID]bool
 
 	// attest lazily holds the attestation signing identity.
 	attest *attestKey
@@ -131,13 +150,22 @@ func NewFirmware(ctl *hw.Controller) *Firmware {
 		ctxs:   make(map[Handle]*Context),
 		next:   1,
 		active: make(map[hw.ASID]Handle),
+		dirty:  make(map[hw.ASID]bool),
 		pool:   parallel.New(0),
 	}
+	f.mu.Init(lockrank.RankFirmware, nil)
 	if ctl != nil && ctl.Telem != nil {
 		f.pool.Register(ctl.Telem.Reg)
 		f.pool.AttachHub(ctl.Telem)
 	}
 	return f
+}
+
+// SetLockInfo re-ranks the firmware table lock with a shared contention
+// counter (the machine wires this up so firmware-lock waits show in the
+// xen.lock_waits metric family).
+func (f *Firmware) SetLockInfo(rank lockrank.Rank, waits *atomic.Uint64) {
+	f.mu.Init(rank, waits)
 }
 
 // Pool exposes the bulk-crypto worker pool, so callers (and benchmarks)
@@ -166,10 +194,7 @@ func (f *Firmware) command(name string, h Handle) {
 		// The command cost was already charged, so the span ends now and
 		// covers the fixed command constant; its parent is whatever scope
 		// is ambient (a launch, a migration round, a quantum).
-		var asid uint32
-		if c, ok := f.ctxs[h]; ok {
-			asid = uint32(c.asid)
-		}
+		asid := uint32(f.asidOf(h))
 		end := t.Now()
 		start := end
 		if start >= cycles.SEVCommand {
@@ -177,6 +202,17 @@ func (f *Firmware) command(name string, h Handle) {
 		}
 		t.CompleteSpan("sev:"+name, t.VMForASID(asid), asid, t.Ambient(), start, end)
 	}
+}
+
+// asidOf reads a handle's ASID binding under the table lock (0 when the
+// handle is unknown or inactive).
+func (f *Firmware) asidOf(h Handle) hw.ASID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.ctxs[h]; ok {
+		return c.asid
+	}
+	return 0
 }
 
 // auditing reports whether the platform ledger is armed, so error paths
@@ -258,7 +294,9 @@ func (f *Firmware) ctx(h Handle) (*Context, error) {
 	if err := f.guard(); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
 	c, ok := f.ctxs[h]
+	f.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrBadHandle, h)
 	}
@@ -280,13 +318,16 @@ func (f *Firmware) newContext() (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Context{handle: f.next, kvek: hw.Key(kvek)}
+	c := &Context{kvek: hw.Key(kvek)}
 	c.cipher, err = hw.NewPageCipher(c.kvek)
 	if err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	c.handle = f.next
 	f.ctxs[f.next] = c
 	f.next++
+	f.mu.Unlock()
 	return c, nil
 }
 
@@ -389,42 +430,65 @@ func (f *Firmware) Activate(h Handle, asid hw.ASID) error {
 	if asid == hw.HostASID {
 		return fmt.Errorf("sev: asid 0 is reserved for the host key")
 	}
+	f.mu.Lock()
 	if owner, busy := f.active[asid]; busy && owner != h {
+		f.mu.Unlock()
 		if f.auditing() {
 			f.audit("asid-reuse", asid,
 				fmt.Sprintf("activate handle %d on asid %d held by handle %d", h, asid, owner))
 		}
 		return fmt.Errorf("%w: asid %d held by handle %d", ErrASIDInUse, asid, owner)
 	}
-	if c.asid != 0 && c.asid != asid {
+	if f.dirty[asid] {
+		// CROSSLINE's opening move: rebind a previously used ASID
+		// without scrubbing the data fabric, so stale lines tagged with
+		// it decrypt under the new guest's key. Real SEV makes this a
+		// hard ACTIVATE failure only after DF_FLUSH discipline is
+		// enforced; the model refuses unconditionally.
+		f.mu.Unlock()
 		if f.auditing() {
-			f.audit("asid-reuse", c.asid,
-				fmt.Sprintf("rebind of handle %d from asid %d to %d", h, c.asid, asid))
+			f.audit("asid-reuse", asid,
+				fmt.Sprintf("activate handle %d on asid %d retired without DF_FLUSH", h, asid))
 		}
-		return fmt.Errorf("sev: handle %d already active as asid %d", h, c.asid)
+		return fmt.Errorf("%w: asid %d", ErrASIDDirty, asid)
+	}
+	if c.asid != 0 && c.asid != asid {
+		prev := c.asid
+		f.mu.Unlock()
+		if f.auditing() {
+			f.audit("asid-reuse", prev,
+				fmt.Sprintf("rebind of handle %d from asid %d to %d", h, prev, asid))
+		}
+		return fmt.Errorf("sev: handle %d already active as asid %d", h, prev)
 	}
 	if err := f.ctl.Eng.Install(asid, c.kvek); err != nil {
+		f.mu.Unlock()
 		return err
 	}
 	c.asid = asid
 	f.active[asid] = h
+	f.mu.Unlock()
 	f.charge(cycles.SEVCommand)
 	f.command("activate", h)
 	return nil
 }
 
 // Deactivate unbinds the context's ASID and removes its key from the
-// memory controller.
+// memory controller. The ASID is marked dirty: until a DF_FLUSH scrubs
+// the fabric, Activate refuses to hand it to any guest.
 func (f *Firmware) Deactivate(h Handle) error {
 	c, err := f.ctx(h)
 	if err != nil {
 		return err
 	}
+	f.mu.Lock()
 	if c.asid != 0 {
 		f.ctl.Eng.Uninstall(c.asid)
 		delete(f.active, c.asid)
+		f.dirty[c.asid] = true
 		c.asid = 0
 	}
+	f.mu.Unlock()
 	f.charge(cycles.SEVCommand)
 	f.command("deactivate", h)
 	return nil
@@ -436,13 +500,44 @@ func (f *Firmware) Decommission(h Handle) error {
 	if err != nil {
 		return err
 	}
+	f.mu.Lock()
 	if c.asid != 0 {
-		return fmt.Errorf("%w: handle %d as asid %d", ErrActive, h, c.asid)
+		asid := c.asid
+		f.mu.Unlock()
+		return fmt.Errorf("%w: handle %d as asid %d", ErrActive, h, asid)
 	}
 	delete(f.ctxs, h)
+	f.mu.Unlock()
 	f.charge(cycles.SEVCommand)
 	f.command("decommission", h)
 	return nil
+}
+
+// DFFlush is the DF_FLUSH command: a data-fabric write-back/invalidate
+// that scrubs every cache line still tagged with a retired ASID, after
+// which those ASIDs may be activated again. It deliberately bypasses
+// the Authorize guard — flushing only destroys stale key state, so the
+// hypervisor being able to issue it grants nothing (whereas SKIPPING it
+// is what CROSSLINE exploits, and Activate enforces that it cannot be
+// skipped).
+func (f *Firmware) DFFlush() error {
+	if !f.initialized {
+		return ErrNotInitialized
+	}
+	f.mu.Lock()
+	f.dirty = make(map[hw.ASID]bool)
+	f.mu.Unlock()
+	f.charge(cycles.DFFlush)
+	f.command("df-flush", 0)
+	return nil
+}
+
+// DirtyASID reports whether asid has been retired without an intervening
+// DF_FLUSH (test and tooling visibility).
+func (f *Firmware) DirtyASID(asid hw.ASID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dirty[asid]
 }
 
 // SendStart opens a SEND session: it generates fresh transport keys,
@@ -694,7 +789,9 @@ func (f *Firmware) ReceiveHelperStart(base Handle, w WrappedKeys, originPub *ecd
 	if err != nil {
 		return 0, err
 	}
+	f.mu.Lock()
 	c := f.ctxs[h]
+	f.mu.Unlock()
 	c.transport = tk
 	f.setState(c, StateReceiving)
 	f.command("receive-helper-start", h)

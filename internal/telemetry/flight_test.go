@@ -496,6 +496,6 @@ func TestConcurrentSpanAndLedger(t *testing.T) {
 	// concurrent scopes hand the register back via compare-and-swap, so a
 	// scope whose successor already closed restores its own predecessor —
 	// possibly a span from another goroutine. That is the documented
-	// reason ScheduleParallel pins attribution with SetAmbient under the
-	// big hypervisor lock instead of relying on scope nesting.
+	// reason ScheduleParallel's quanta pass an explicit parent (OpenSpan)
+	// instead of relying on scope nesting.
 }

@@ -24,8 +24,9 @@ import (
 // Length prefixes make the class/detail boundary unambiguous.
 //
 // Lock order: the ledger mutex is a leaf — Append and Records never call
-// out while holding it, so it can be taken under any platform lock
-// (including the big hypervisor lock) without ordering concerns.
+// out while holding it, so it can be taken under any platform lock (a
+// domain lock, the gate lock, a shared-structure shard) without ordering
+// concerns.
 
 // Record is one audit ledger entry.
 type Record struct {

@@ -333,6 +333,20 @@ func (r *Registry) RegisterFunc(base string, fn func() uint64, labels ...string)
 	r.mu.Unlock()
 }
 
+// UnregisterFunc removes an external reader registered under base+labels.
+// Lifecycle churn depends on it: a destroyed domain's per-VM readers must
+// not accumulate (nor keep the domain reachable) across thousands of
+// create/destroy cycles.
+func (r *Registry) UnregisterFunc(base string, labels ...string) {
+	if r == nil {
+		return
+	}
+	name := MetricName(base, labels...)
+	r.mu.Lock()
+	delete(r.funcs, name)
+	r.mu.Unlock()
+}
+
 // Histogram returns (registering on first use) a fixed-bucket histogram.
 // The bounds of the first registration win.
 func (r *Registry) Histogram(base string, bounds []uint64, labels ...string) *Histogram {

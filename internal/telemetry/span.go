@@ -18,9 +18,10 @@ package telemetry
 // the previous value with a compare-and-swap so concurrent scopes cannot
 // clobber each other. In the deterministic serial mode this yields exact
 // nesting; under ScheduleParallel, code that needs exact attribution
-// passes an explicit parent (OpenSpan) or pins the ambient register while
-// holding the big hypervisor lock (Hub.SetAmbient), so cross-domain
-// quanta never mis-parent.
+// passes an explicit parent (OpenSpan — what the parallel scheduler's
+// quanta do) or pins the ambient register with Hub.SetAmbient while
+// holding a lock that serializes the region, so cross-domain quanta
+// never mis-parent.
 
 // Attr is one labelled span attribute.
 type Attr struct {
@@ -99,9 +100,9 @@ func (h *Hub) Ambient() uint64 {
 }
 
 // SetAmbient installs id as the ambient parent and returns the previous
-// value, for code that must pin attribution across a region (the parallel
-// scheduler pins its quantum span while holding the big hypervisor lock).
-// No-op returning 0 when tracing is disabled.
+// value, for code that must pin attribution across a region it has
+// otherwise serialized (a lock, a single-goroutine phase). No-op
+// returning 0 when tracing is disabled.
 func (h *Hub) SetAmbient(id uint64) uint64 {
 	if h == nil || h.tracer.Load() == nil {
 		return 0

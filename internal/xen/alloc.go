@@ -3,9 +3,10 @@ package xen
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"fidelius/internal/hw"
+	"fidelius/internal/lockrank"
 )
 
 // PageUse classifies what a physical frame is used for. Fidelius's page
@@ -66,11 +67,17 @@ type FrameInfo struct {
 }
 
 // FrameAlloc is the hypervisor's physical frame allocator with per-frame
-// ownership and usage accounting.
+// ownership and usage accounting. Its internal mutex (lock rank: alloc)
+// sits near the bottom of the lock order, so any path may allocate.
 type FrameAlloc struct {
-	mu     sync.Mutex
+	mu     lockrank.Mutex
 	frames []FrameInfo
 	free   []hw.PFN // LIFO free list
+}
+
+// SetLockInfo ranks the allocator lock and wires its contention counter.
+func (a *FrameAlloc) SetLockInfo(rank lockrank.Rank, waits *atomic.Uint64) {
+	a.mu.Init(rank, waits)
 }
 
 // NewFrameAlloc covers frames [start, total). Frames below start are

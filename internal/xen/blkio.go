@@ -107,7 +107,9 @@ func (x *Xen) AttachBlockDevice(d *Domain, dk *disk.Disk, dataPages int, port ui
 	d.Info.DataGFN = BlkDataGFN
 	d.Info.DataLen = uint64(dataPages)
 	d.Info.Port = port
+	x.domsMu.Lock()
 	x.backends[d.ID] = b
+	x.domsMu.Unlock()
 	// Advertise the device in the XenStore, as the toolstack would.
 	prefix := fmt.Sprintf("device/vbd/%d/", d.ID)
 	x.Store.Set(prefix+"ring-gfn", fmt.Sprint(BlkRingGFN))
@@ -131,7 +133,11 @@ func (x *Xen) SharePages(d *Domain, startGFN uint64, count int) ([]hw.PhysAddr, 
 		if !ok {
 			return nil, fmt.Errorf("xen: shared gfn %d unbacked", gfn)
 		}
+		// Grant bytes are shared host state: raw reads take the gate
+		// lock, released before the interposed write takes its own.
+		x.M.Host.Lock()
 		ref, err := d.Grant.FreeRef()
+		x.M.Host.Unlock()
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +157,9 @@ func (x *Xen) SharePages(d *Domain, startGFN uint64, count int) ([]hw.PhysAddr, 
 
 // Backend returns the block backend attached to a domain.
 func (x *Xen) Backend(id DomID) (*BlockBackend, bool) {
+	x.domsMu.RLock()
 	b, ok := x.backends[id]
+	x.domsMu.RUnlock()
 	return b, ok
 }
 

@@ -26,7 +26,7 @@ func (x *Xen) setLeafW(d *Domain, gfn uint64, writable bool) error {
 	if err != nil {
 		return nil // lazily-populated hole: nothing to protect yet
 	}
-	cur, err := x.readPTE(slot)
+	cur, err := x.readPTE(d, slot)
 	if err != nil {
 		return err
 	}
@@ -46,7 +46,11 @@ func (x *Xen) setLeafW(d *Domain, gfn uint64, writable bool) error {
 // StartDirtyLog arms the domain's dirty log and write-protects all backed
 // guest frames, so that every subsequent guest write faults once and is
 // recorded. The NPT generation bumps so vCPU translation caches flush.
+// Like the other dirty-log toolstack entry points it takes the domain
+// lock, serializing against the domain's own quanta.
 func (x *Xen) StartDirtyLog(d *Domain) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Dirty == nil {
 		d.Dirty = mmu.NewDirtyLog(d.MemPages)
 	}
@@ -65,6 +69,8 @@ func (x *Xen) StartDirtyLog(d *Domain) error {
 // pages, opening the next tracking round. The returned GFNs are the pages
 // written since the previous collection (or since StartDirtyLog).
 func (x *Xen) CollectDirty(d *Domain) ([]uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	dirty := d.Dirty.Collect()
 	for _, gfn := range dirty {
 		if err := x.setLeafW(d, gfn, false); err != nil {
@@ -80,12 +86,16 @@ func (x *Xen) CollectDirty(d *Domain) ([]uint64, error) {
 // PeekDirty drains the dirty log without re-protecting — the final
 // stop-and-copy round, after which tracking ends.
 func (x *Xen) PeekDirty(d *Domain) []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.Dirty.Collect()
 }
 
 // StopDirtyLog disarms the log and restores the W bit on every backed
 // frame, returning the domain to normal full-speed operation.
 func (x *Xen) StopDirtyLog(d *Domain) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.Dirty.Stop()
 	d.Dirty.Collect()
 	for gfn := uint64(0); gfn < uint64(d.MemPages); gfn++ {
@@ -100,6 +110,8 @@ func (x *Xen) StopDirtyLog(d *Domain) error {
 // BackedGFNs lists every guest frame currently backed by a host frame, in
 // ascending order — the page set a full-copy migration round must ship.
 func (d *Domain) BackedGFNs() []uint64 {
+	d.framesMu.RLock()
+	defer d.framesMu.RUnlock()
 	var out []uint64
 	for gfn := range d.Frames {
 		if d.Frames[gfn] != 0 {

@@ -36,7 +36,7 @@ func TestDirtyLogTracksGuestWrites(t *testing.T) {
 	})
 
 	// Phase one: run up to the HLT.
-	for x.ExitCounts[cpu.ExitHLT] == 0 {
+	for x.ExitCount(cpu.ExitHLT) == 0 {
 		done, err := x.RunOnce(d)
 		if err != nil {
 			t.Fatal(err)
@@ -77,7 +77,7 @@ func TestDirtyLogTracksGuestWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	leaf, err := x.readPTE(slot)
+	leaf, err := x.readPTE(d, slot)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,9 +2,11 @@ package xen
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fidelius/internal/cpu"
 	"fidelius/internal/hw"
+	"fidelius/internal/lockrank"
 	"fidelius/internal/mmu"
 	"fidelius/internal/sev"
 )
@@ -80,6 +82,32 @@ type Domain struct {
 	Name     string
 	MemPages int
 
+	// mu is the domain's own lock (lock rank: domain), held by whichever
+	// scheduler owns the current quantum for its whole duration. It
+	// guards the domain's VMCB dispatch state, interposer seam, NPT
+	// mutations, dirty log and console. Shared-structure locks are
+	// always acquired inside it, never the other way around.
+	mu lockrank.Mutex
+
+	// framesMu (lock rank: frames) guards the Frames backing map. It is
+	// separate from mu because foreign quanta read it on grant map
+	// (GPAFrame) while the owner's quantum may be populating pages.
+	framesMu lockrank.RWMutex
+
+	// ctl is the controller port this domain's host-side work drives:
+	// the machine's root controller under serial scheduling, the
+	// runner's per-core view while a parallel runner owns the domain.
+	// Cycle costs of exit dispatch thus land on the quantum that caused
+	// them in both modes.
+	ctl *hw.Controller
+
+	// cycles accumulates the simulated cycles this domain's quanta have
+	// consumed (read via Xen.DomainCycles).
+	cycles atomic.Uint64
+
+	// console buffers HCConsoleIO output (under mu).
+	console []byte
+
 	// NPT is the nested page table mapping GPA to HPA.
 	NPT *mmu.Space
 	// NPTPages tracks all NPT table pages for protection registration.
@@ -120,9 +148,12 @@ type Domain struct {
 // VMCBPA returns the physical address of the domain's VMCB.
 func (d *Domain) VMCBPA() hw.PhysAddr { return d.VMCBPFN.Addr() }
 
-// GPABase returns the host frame backing a guest frame, or false if
-// unbacked.
+// GPAFrame returns the host frame backing a guest frame, or false if
+// unbacked. Safe to call from foreign quanta (grant map) and from under
+// the gate lock: frames ranks below both.
 func (d *Domain) GPAFrame(gfn uint64) (hw.PFN, bool) {
+	d.framesMu.RLock()
+	defer d.framesMu.RUnlock()
 	if gfn >= uint64(len(d.Frames)) || d.Frames[gfn] == 0 {
 		return 0, false
 	}
@@ -151,14 +182,19 @@ func (x *Xen) CreateDomain(cfg DomainConfig) (*Domain, error) {
 		return nil, fmt.Errorf("xen: domain needs memory")
 	}
 	d := &Domain{
-		ID:       x.nextDom,
 		Name:     cfg.Name,
 		MemPages: cfg.MemPages,
 		SEV:      cfg.SEV,
 		Frames:   make([]hw.PFN, cfg.MemPages),
 		Dirty:    mmu.NewDirtyLog(cfg.MemPages),
+		ctl:      x.M.Ctl,
 	}
+	d.mu.Init(lockrank.RankDomain, &x.M.Waits.Domain)
+	d.framesMu.Init(lockrank.RankFrames, &x.M.Waits.Frames)
+	x.domsMu.Lock()
+	d.ID = x.nextDom
 	x.nextDom++
+	x.domsMu.Unlock()
 
 	vmcb, err := x.M.Alloc.Alloc(UseVMCB, d.ID)
 	if err != nil {
@@ -197,10 +233,14 @@ func (x *Xen) CreateDomain(cfg DomainConfig) (*Domain, error) {
 		}
 	}
 
-	// SEV context.
+	// SEV context. The ASID comes from the pool, which recycles retired
+	// ASIDs behind a DF_FLUSH once the hardware limit is reached.
 	if cfg.SEV {
-		d.ASID = x.nextASID
-		x.nextASID++
+		asid, err := x.ASIDs.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		d.ASID = asid
 		if !cfg.ExternalSEV {
 			h, err := x.M.FW.LaunchStart(0)
 			if err != nil {
@@ -249,20 +289,25 @@ func (x *Xen) CreateDomain(cfg DomainConfig) (*Domain, error) {
 		tel.MapASID(uint32(d.ASID), uint32(d.ID))
 	}
 	if tel != nil {
-		id := d.ID
-		tel.Reg.RegisterFunc("cycles.vm", func() uint64 { return x.CycleAccount[id] },
+		tel.Reg.RegisterFunc("cycles.vm", func() uint64 { return d.cycles.Load() },
 			"vm", fmt.Sprint(uint32(d.ID)))
 	}
 
+	x.domsMu.Lock()
 	x.Doms[d.ID] = d
 	x.vmcbToDom[d.VMCBPA()] = d
+	x.domsMu.Unlock()
 	return d, nil
 }
 
 // WriteStartInfo publishes the domain's boot parameters to its start-info
 // page. The page is under the write-once policy: the first write succeeds,
-// any later write is a policy violation under Fidelius.
+// any later write is a policy violation under Fidelius. The write runs on
+// the boot CPU and may fault into the trusted context, so it holds the
+// gate lock.
 func (x *Xen) WriteStartInfo(d *Domain) error {
+	x.M.Host.Lock()
+	defer x.M.Host.Unlock()
 	return x.M.CPU.WriteVA(uint64(d.StartInfoPFN.Addr()), d.Info.Marshal())
 }
 
@@ -284,11 +329,12 @@ func (x *Xen) newPTPage(d *Domain) (hw.PFN, error) {
 	return pfn, nil
 }
 
-// readPTE reads a page-table entry from physical memory (reads of
-// write-protected structures are always permitted).
-func (x *Xen) readPTE(slot hw.PhysAddr) (mmu.PTE, error) {
+// readPTE reads a page-table entry from physical memory through the
+// domain's controller port (reads of write-protected structures are
+// always permitted).
+func (x *Xen) readPTE(d *Domain, slot hw.PhysAddr) (mmu.PTE, error) {
 	var b [8]byte
-	if err := x.M.Ctl.Read(hw.Access{PA: slot}, b[:]); err != nil {
+	if err := d.ctl.Read(hw.Access{PA: slot}, b[:]); err != nil {
 		return 0, err
 	}
 	var v uint64
@@ -306,7 +352,7 @@ func (x *Xen) MapNPT(d *Domain, gpa uint64, pte mmu.PTE) error {
 	table := d.NPT.Root
 	for level := mmu.Levels - 1; level > 0; level-- {
 		slot := table.Addr() + hw.PhysAddr(mmu.Index(gpa, level)*8)
-		entry, err := x.readPTE(slot)
+		entry, err := x.readPTE(d, slot)
 		if err != nil {
 			return err
 		}
@@ -336,7 +382,7 @@ func (x *Xen) NPTLeafSlot(d *Domain, gpa uint64) (hw.PhysAddr, error) {
 	table := d.NPT.Root
 	for level := mmu.Levels - 1; level > 0; level-- {
 		slot := table.Addr() + hw.PhysAddr(mmu.Index(gpa, level)*8)
-		entry, err := x.readPTE(slot)
+		entry, err := x.readPTE(d, slot)
 		if err != nil {
 			return 0, err
 		}
@@ -350,18 +396,22 @@ func (x *Xen) NPTLeafSlot(d *Domain, gpa uint64) (hw.PhysAddr, error) {
 
 // updateVMCB loads, mutates and stores the domain's VMCB.
 func (x *Xen) updateVMCB(d *Domain, f func(*cpu.VMCB)) error {
-	v, err := cpu.LoadVMCB(x.M.Ctl, d.VMCBPA())
+	v, err := cpu.LoadVMCB(d.ctl, d.VMCBPA())
 	if err != nil {
 		return err
 	}
 	f(v)
-	return cpu.StoreVMCB(x.M.Ctl, d.VMCBPA(), v)
+	return cpu.StoreVMCB(d.ctl, d.VMCBPA(), v)
 }
 
 // DestroyDomain tears a guest down: SEV deactivate/decommission (unless
-// externally managed), frame reclamation, and interposer notification so
-// Fidelius can scrub PIT/GIT state (Section 4.3.8).
+// externally managed), frame reclamation, ASID retirement into the pool's
+// dirty list, and interposer notification so Fidelius can scrub PIT/GIT
+// state (Section 4.3.8). It holds the domain lock: a teardown racing a
+// quantum waits for the quantum to finish.
 func (x *Xen) DestroyDomain(d *Domain, externalSEV bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.Dead {
 		return nil
 	}
@@ -374,20 +424,33 @@ func (x *Xen) DestroyDomain(d *Domain, externalSEV bool) error {
 			return err
 		}
 	}
+	// The ASID is now retired-but-dirty; the pool refuses to hand it out
+	// again until a DF_FLUSH has scrubbed the fabric.
+	x.ASIDs.Retire(d.ASID)
 	if err := x.Interpose.DomainDestroyed(d); err != nil {
 		return err
 	}
+	d.framesMu.Lock()
 	for _, pfn := range d.Frames {
 		if pfn != 0 {
 			x.M.Alloc.Free(pfn)
 		}
 	}
+	d.framesMu.Unlock()
 	for _, pfn := range d.NPTPages {
 		x.M.Alloc.Free(pfn)
 	}
 	x.M.Alloc.Free(d.VMCBPFN)
 	x.M.Alloc.Free(d.Grant.PagePFN)
+	if d.StartInfoPFN != 0 {
+		x.M.Alloc.Free(d.StartInfoPFN)
+	}
+	// Drop the per-VM cycle reader so lifecycle churn does not accumulate
+	// registry entries (or keep dead domains reachable through them).
+	x.M.Ctl.Telem.Reg.UnregisterFunc("cycles.vm", "vm", fmt.Sprint(uint32(d.ID)))
+	x.domsMu.Lock()
 	delete(x.Doms, d.ID)
 	delete(x.vmcbToDom, d.VMCBPA())
+	x.domsMu.Unlock()
 	return nil
 }

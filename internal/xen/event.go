@@ -2,18 +2,35 @@ package xen
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fidelius/internal/cycles"
+	"fidelius/internal/lockrank"
 	"fidelius/internal/telemetry"
 )
 
 // EventBus is the event-channel mechanism: a guest (or the toolstack)
 // kicks a port, and the bound handler runs in host context. The PV block
 // protocol uses it to signal requests from front-end to back-end.
+//
+// The handler table is its own shard (lock rank: events). Notify looks
+// the handler up under the read lock, releases it, and then invokes the
+// handler through the injected invoke hook — under the gate lock when
+// wired by the hypervisor — so the table shard is never held across
+// handler execution and concurrent signal storms only contend at the
+// genuine sharing point (the handler's shared ring state), never on the
+// table itself.
 type EventBus struct {
 	ctlCharge func(uint64)
 	hub       *telemetry.Hub
-	handlers  map[evtKey]func() error
+
+	mu       lockrank.RWMutex
+	handlers map[evtKey]func() error
+
+	// invoke runs a bound handler; the hypervisor wires it to take the
+	// gate lock. The default (used by bare buses in tests) calls the
+	// handler directly.
+	invoke func(func() error) error
 }
 
 type evtKey struct {
@@ -23,23 +40,40 @@ type evtKey struct {
 
 // newEventBus returns an empty bus charging cycles through fn.
 func newEventBus(charge func(uint64), hub *telemetry.Hub) *EventBus {
-	return &EventBus{ctlCharge: charge, hub: hub, handlers: make(map[evtKey]func() error)}
+	return &EventBus{
+		ctlCharge: charge,
+		hub:       hub,
+		handlers:  make(map[evtKey]func() error),
+		invoke:    func(h func() error) error { return h() },
+	}
+}
+
+// SetLockInfo ranks the handler-table lock and wires its contention
+// counter.
+func (b *EventBus) SetLockInfo(rank lockrank.Rank, waits *atomic.Uint64) {
+	b.mu.Init(rank, waits)
 }
 
 // Bind installs the handler for (dom, port), replacing any previous one.
 func (b *EventBus) Bind(dom DomID, port uint32, handler func() error) {
+	b.mu.Lock()
 	b.handlers[evtKey{dom, port}] = handler
+	b.mu.Unlock()
 }
 
 // Unbind removes the handler for (dom, port).
 func (b *EventBus) Unbind(dom DomID, port uint32) {
+	b.mu.Lock()
 	delete(b.handlers, evtKey{dom, port})
+	b.mu.Unlock()
 }
 
 // Notify kicks a port. The bound handler runs synchronously in host
 // context before the notifying hypercall returns.
 func (b *EventBus) Notify(dom DomID, port uint32) error {
+	b.mu.RLock()
 	h, ok := b.handlers[evtKey{dom, port}]
+	b.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("xen: event channel %d/%d not bound", dom, port)
 	}
@@ -51,26 +85,43 @@ func (b *EventBus) Notify(dom DomID, port uint32) error {
 				cycles.EventChannelSignal, uint64(port), 0)
 		}
 	}
-	return h()
+	return b.invoke(h)
 }
 
 // XenStore is the toolstack's small key-value store, used to advertise
-// ring GPAs and grant references between front and back ends.
+// ring GPAs and grant references between front and back ends. It is an
+// independently locked shard (lock rank: store).
 type XenStore struct {
+	mu lockrank.RWMutex
 	kv map[string]string
 }
 
 // newXenStore returns an empty store.
 func newXenStore() *XenStore { return &XenStore{kv: make(map[string]string)} }
 
+// SetLockInfo ranks the store lock and wires its contention counter.
+func (s *XenStore) SetLockInfo(rank lockrank.Rank, waits *atomic.Uint64) {
+	s.mu.Init(rank, waits)
+}
+
 // Set stores a value.
-func (s *XenStore) Set(key, val string) { s.kv[key] = val }
+func (s *XenStore) Set(key, val string) {
+	s.mu.Lock()
+	s.kv[key] = val
+	s.mu.Unlock()
+}
 
 // Get reads a value.
 func (s *XenStore) Get(key string) (string, bool) {
+	s.mu.RLock()
 	v, ok := s.kv[key]
+	s.mu.RUnlock()
 	return v, ok
 }
 
 // Delete removes a key.
-func (s *XenStore) Delete(key string) { delete(s.kv, key) }
+func (s *XenStore) Delete(key string) {
+	s.mu.Lock()
+	delete(s.kv, key)
+	s.mu.Unlock()
+}

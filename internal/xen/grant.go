@@ -59,6 +59,12 @@ var ErrBadGrant = errors.New("xen: bad grant reference")
 
 // GrantTable is one domain's grant table, stored in a dedicated physical
 // page so it appears in the memory permission map (Table 1).
+//
+// The table page is shared host state: a foreign domain's map operation
+// reads entries a concurrent WriteGrant may be rewriting. Callers of
+// Entry and FreeRef therefore hold the machine's gate lock (the same
+// lock the interposed grant writes run under), keeping 16-byte entries
+// untearable without giving the table a lock of its own.
 type GrantTable struct {
 	PagePFN hw.PFN
 	ctl     *hw.Controller

@@ -81,10 +81,12 @@ func errnoFor(err error) uint64 {
 }
 
 // hypercall dispatches one hypercall from domain d. It returns the result
-// and errno values for R0 and R1.
+// and errno values for R0 and R1. It runs with the domain lock held; the
+// dispatch cost is charged to the domain's own controller port, so
+// parallel quanta account their hypercalls to themselves.
 func (x *Xen) hypercall(d *Domain, regs [cpu.NumRegs]uint64) (res, errno uint64) {
-	x.M.Ctl.Cycles.Charge(200) // dispatch cost (part of the hypercall path)
-	tel := x.M.Ctl.Telem
+	d.ctl.Cycles.Charge(200) // dispatch cost (part of the hypercall path)
+	tel := d.ctl.Telem
 	tel.M.Hypercalls.Inc()
 	if tel.Tracing() {
 		tel.Emit(telemetry.KindHypercall, uint32(d.ID), uint32(d.ASID),
@@ -100,7 +102,7 @@ func (x *Xen) hypercall(d *Domain, regs [cpu.NumRegs]uint64) (res, errno uint64)
 			n = 8
 		}
 		for i := uint64(0); i < n; i++ {
-			x.console[d.ID] = append(x.console[d.ID], byte(regs[1]>>(8*i)))
+			d.console = append(d.console, byte(regs[1]>>(8*i)))
 		}
 		return 0, errnoOK
 	case HCGrantTableOp:
@@ -121,14 +123,23 @@ func (x *Xen) hypercall(d *Domain, regs [cpu.NumRegs]uint64) (res, errno uint64)
 	return 0, errnoNoSys
 }
 
+// grantOp handles the grant-table hypercall sub-operations. Grant-table
+// *bytes* are shared host state (a foreign domain's map reads the
+// granter's table), so raw entry reads take the gate lock — sequential
+// with, never nested inside, the interposed WriteGrant's own gate
+// section. Same-domain read-then-write races are excluded by the
+// caller's domain lock.
 func (x *Xen) grantOp(d *Domain, regs [cpu.NumRegs]uint64) (res, errno uint64) {
 	switch regs[1] {
 	case GntOpGrant:
 		grantee, gfn, flags := DomID(regs[2]), regs[3], uint16(regs[4])
-		if _, ok := d.GPAFrame(gfn); !ok {
+		pfn, ok := d.GPAFrame(gfn)
+		if !ok {
 			return 0, errnoFail
 		}
+		x.M.Host.Lock()
 		ref, err := d.Grant.FreeRef()
+		x.M.Host.Unlock()
 		if err != nil {
 			return 0, errnoFail
 		}
@@ -140,16 +151,20 @@ func (x *Xen) grantOp(d *Domain, regs [cpu.NumRegs]uint64) (res, errno uint64) {
 		if err := x.Interpose.WriteGrant(d, slot, entry); err != nil {
 			return 0, errnoFor(err)
 		}
-		x.M.Alloc.SetUse(d.Frames[gfn], UseShared, d.ID)
+		x.M.Alloc.SetUse(pfn, UseShared, d.ID)
 		return uint64(ref), errnoOK
 
 	case GntOpMap:
 		granter, ref, dstGFN := DomID(regs[2]), int(regs[3]), regs[4]
-		gd, ok := x.Doms[granter]
+		// Registry lookup first (doms ranks above gate, so it must be
+		// released before the grant bytes are read).
+		gd, ok := x.Dom(granter)
 		if !ok {
 			return 0, errnoFail
 		}
+		x.M.Host.Lock()
 		e, err := gd.Grant.Entry(ref)
+		x.M.Host.Unlock()
 		if err != nil || e.Flags&GrantInUse == 0 || e.Grantee != d.ID {
 			return 0, errnoFail
 		}

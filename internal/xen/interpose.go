@@ -34,6 +34,9 @@ type Interposer interface {
 
 	// VMRun executes the VMRUN instruction for the given VMCB. Under
 	// Fidelius this is the type 3 gate (map stub, check, run, unmap).
+	// The hypervisor invokes it with the machine's gate lock held (the
+	// stub runs on the shared boot CPU); implementations must not
+	// re-acquire it.
 	VMRun(vmcbPA hw.PhysAddr) error
 
 	// NewPTPage reports a freshly allocated page-table page (level > 0
@@ -100,15 +103,21 @@ func (dr Direct) VMRun(vmcbPA hw.PhysAddr) error {
 // NewPTPage implements Interposer (no tracking).
 func (Direct) NewPTPage(*Domain, hw.PFN) error { return nil }
 
-// WritePTE writes the entry with an ordinary supervisor store.
+// WritePTE writes the entry with an ordinary supervisor store on the
+// boot CPU, under the gate lock (the CPU's register file is shared).
 func (dr Direct) WritePTE(_ *Domain, slot hw.PhysAddr, val mmu.PTE) error {
+	dr.X.M.Host.Lock()
+	defer dr.X.M.Host.Unlock()
 	return dr.X.M.CPU.Write64(uint64(slot), uint64(val))
 }
 
-// WriteGrant writes the entry with an ordinary supervisor store.
+// WriteGrant writes the entry with an ordinary supervisor store on the
+// boot CPU, under the gate lock.
 func (dr Direct) WriteGrant(_ *Domain, slot hw.PhysAddr, entry GrantEntry) error {
 	var buf [GrantEntrySize]byte
 	entry.Marshal(buf[:])
+	dr.X.M.Host.Lock()
+	defer dr.X.M.Host.Unlock()
 	return dr.X.M.CPU.WriteVA(uint64(slot), buf[:])
 }
 

@@ -17,13 +17,34 @@ import (
 	"crypto/rand"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"fidelius/internal/cpu"
 	"fidelius/internal/hw"
 	"fidelius/internal/isa"
+	"fidelius/internal/lockrank"
 	"fidelius/internal/mmu"
 	"fidelius/internal/sev"
 )
+
+// LockWaits counts contended acquisitions per lock class — an acquisition
+// that could not be satisfied immediately bumps its class counter. The
+// hypervisor exports these as the xen.lock_waits metric family; the
+// 64-domain stress test asserts the domain and gate classes stay at zero
+// across concurrent quanta, which is the "quanta of distinct domains do
+// not contend" property in checkable form.
+type LockWaits struct {
+	Domain   atomic.Uint64 // per-domain locks (rank: domain)
+	Events   atomic.Uint64 // event-channel handler table (rank: events)
+	Store    atomic.Uint64 // XenStore (rank: store)
+	ASIDPool atomic.Uint64 // ASID allocator (rank: asid-pool)
+	Gate     atomic.Uint64 // host/gate lock (rank: gate)
+	Doms     atomic.Uint64 // domain registry (rank: doms)
+	Firmware atomic.Uint64 // SEV firmware tables (rank: firmware)
+	Frames   atomic.Uint64 // per-domain gfn→pfn maps (rank: frames)
+	Alloc    atomic.Uint64 // physical page allocator (rank: alloc)
+	Bus      atomic.Uint64 // TLB shootdown bus (rank: bus)
+}
 
 // Stubs records where the hypervisor's privileged-instruction stubs live.
 // Each stub is the single sanctioned copy of one privileged instruction
@@ -72,6 +93,18 @@ type Machine struct {
 	// would. The boot CPU registers at machine build; ScheduleParallel
 	// registers one core per domain slot.
 	TLBs *mmu.ShootdownBus
+
+	// Host is the host/gate lock (lock rank: gate): it serializes the
+	// genuinely shared host-side machinery — the boot CPU's register
+	// file and privileged stubs, gate transitions and trusted-context
+	// entry, and raw grant-table bytes. Per-quantum work of distinct
+	// domains must never need it except at real sharing points (grant
+	// map/unmap, event-channel handler invocation, serve-ring
+	// doorbells); the Waits.Gate counter proves it.
+	Host lockrank.Mutex
+
+	// Waits aggregates lock contention per class for the whole machine.
+	Waits *LockWaits
 }
 
 // NewMachine builds and boots the bare machine: physical memory, an
@@ -89,7 +122,12 @@ func NewMachine(cfg Config) (*Machine, error) {
 		FW:    sev.NewFirmware(ctl),
 		Alloc: NewFrameAlloc(1, cfg.MemPages),
 		TLBs:  &mmu.ShootdownBus{},
+		Waits: &LockWaits{},
 	}
+	m.Host.Init(lockrank.RankGate, &m.Waits.Gate)
+	m.Alloc.SetLockInfo(lockrank.RankAlloc, &m.Waits.Alloc)
+	m.TLBs.SetLockInfo(lockrank.RankBus, &m.Waits.Bus)
+	m.FW.SetLockInfo(lockrank.RankFirmware, &m.Waits.Firmware)
 	m.TLBs.Register(m.CPU.TLB)
 	// BIOS enables SME: a random host key lives in slot 0 from boot.
 	var smeKey hw.Key

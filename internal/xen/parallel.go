@@ -16,10 +16,13 @@ import (
 // slots (the internal/parallel pool), each slot a simulated core brought
 // online with Machine.NewCore. Every runner drives its own vCPU through
 // the existing VMEXIT dispatch; guest code executes truly concurrently on
-// per-vCPU controller views, while all host-side work — boundary hooks,
-// VMCB load/store, hypercalls, NPT updates — serializes under the big
-// hypervisor lock, exactly the lock discipline of a real big-lock
-// hypervisor. A width <= 0 picks GOMAXPROCS.
+// per-vCPU controller views, and — since the big hypervisor lock was
+// sharded away — host-side work is concurrent too: a runner holds only
+// its domain's own lock for the quantum and touches shared shards (grant
+// bytes, event handlers, the registry, allocators) through their own
+// locks at the moments it genuinely shares. Quanta of distinct domains
+// therefore contend only at real sharing points; the xen.lock_waits
+// counters prove it. A width <= 0 picks GOMAXPROCS.
 //
 // The serial Schedule remains the default: its round-robin interleaving
 // is deterministic, which the paper's attack demos and the golden traces
@@ -31,7 +34,8 @@ import (
 // directly instead of calling Interpose.VMRun, because the VMRUN stub
 // executes on the single shared boot CPU and would re-serialize every
 // quantum. The PreVMRun/OnVMExit boundary hooks — where Fidelius shadows
-// and verifies the VMCB — still run, under the lock, for every quantum.
+// and verifies the VMCB — still run for every quantum; under Fidelius
+// they take the gate lock themselves for the shared-machine steps.
 func (x *Xen) ScheduleParallel(doms []*Domain, width int) map[DomID]error {
 	sp := x.M.Ctl.Telem.OpenScope("schedule-parallel", 0, 0).
 		Attr("domains", strconv.Itoa(len(doms)))
@@ -67,11 +71,21 @@ func (x *Xen) runDomain(d *Domain, sched uint64) error {
 	}
 	core := x.M.NewCore()
 	defer x.M.ReleaseCore(core)
-	// Hand the vCPU this core's controller view; the guest goroutine is
-	// parked (StartVCPU blocks on the first resume, a completed quantum
-	// blocks in exit()), so the swap is ordered by the resume send below.
+	// Hand the vCPU and the domain's host-side dispatch this core's
+	// controller view; the guest goroutine is parked (StartVCPU blocks on
+	// the first resume, a completed quantum blocks in exit()), so the
+	// swap is ordered by the resume send below. The domain lock orders
+	// the d.ctl swap against any other host-side reader.
+	d.mu.Lock()
 	v.ctl = core.Ctl
-	defer func() { v.ctl = x.M.Ctl }()
+	d.ctl = core.Ctl
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		v.ctl = x.M.Ctl
+		d.ctl = x.M.Ctl
+		d.mu.Unlock()
+	}()
 	for {
 		done, err := x.runQuantum(d, core, sched)
 		if done {
@@ -82,37 +96,33 @@ func (x *Xen) runDomain(d *Domain, sched uint64) error {
 
 // runQuantum is the parallel counterpart of RunOnce: enter the guest, take
 // one VMEXIT through the interposer boundary hooks, and dispatch it. The
-// hypervisor lock is dropped while the guest runs — that window is where
-// domains overlap.
+// runner holds the domain's own lock for the whole quantum — including
+// the guest window, which is harmless because nothing else schedules this
+// domain — and no global lock at all. The quantum's cycles, measured on
+// the runner's private counter, accumulate into the domain's own account
+// with a lock-free atomic add.
 func (x *Xen) runQuantum(d *Domain, core *cpu.CPU, sched uint64) (done bool, err error) {
 	v := d.vcpu
 	ctl := core.Ctl
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	start := ctl.Cycles.Total()
 	// Explicit parent: concurrent quanta cannot rely on the ambient
-	// register across goroutines. While the big hypervisor lock is held
-	// the register IS pinned to this quantum, so host-side work (gates,
-	// firmware commands, NPT updates) still nests correctly.
+	// register across goroutines, so host-side child spans parent to the
+	// scheduler session scope.
 	sp := ctl.Telem.OpenSpan("quantum", uint32(d.ID), uint32(d.ASID), sched)
 	defer func() {
 		spent := ctl.Cycles.Sub(start)
-		x.mu.Lock()
-		x.CycleAccount[d.ID] += spent
-		x.mu.Unlock()
+		d.cycles.Add(spent)
 		ctl.Telem.M.ExitCycles.Observe(spent)
 		sp.Close()
 	}()
 
-	x.mu.Lock()
-	prevAmb := ctl.Telem.SetAmbient(sp.ID())
 	if err := x.Interpose.PreVMRun(d, d.VMCBPA()); err != nil {
-		ctl.Telem.SetAmbient(prevAmb)
-		x.mu.Unlock()
 		return true, fmt.Errorf("xen: entry to %s vetoed: %w", d.Name, err)
 	}
-	vmcb, err := cpu.LoadVMCB(x.M.Ctl, d.VMCBPA())
+	vmcb, err := cpu.LoadVMCB(ctl, d.VMCBPA())
 	if err != nil {
-		ctl.Telem.SetAmbient(prevAmb)
-		x.mu.Unlock()
 		return true, err
 	}
 	fault := d.pendingFault
@@ -124,11 +134,10 @@ func (x *Xen) runQuantum(d *Domain, core *cpu.CPU, sched uint64) (done bool, err
 			cycles.VMEntry, uint64(d.VMCBPA()), 0)
 	}
 	ctl.Cycles.Charge(cycles.VMEntry)
-	ctl.Telem.SetAmbient(prevAmb)
-	x.mu.Unlock()
 
-	// Guest quantum: the only unlocked window. The vCPU goroutine runs
-	// against this core's controller view until its next exit.
+	// Guest quantum: the vCPU goroutine runs against this core's
+	// controller view until its next exit. Other domains' runners are in
+	// their own quanta concurrently.
 	v.resume <- resumeMsg{regs: vmcb.Regs, fault: fault}
 	ev := <-v.exitCh
 
@@ -139,10 +148,6 @@ func (x *Xen) runQuantum(d *Domain, core *cpu.CPU, sched uint64) (done bool, err
 			cycles.VMExit, uint64(ev.reason), 0)
 	}
 
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	prevAmb = ctl.Telem.SetAmbient(sp.ID())
-	defer ctl.Telem.SetAmbient(prevAmb)
 	if ev.done {
 		v.halted = true
 		v.err = ev.err
@@ -152,7 +157,7 @@ func (x *Xen) runQuantum(d *Domain, core *cpu.CPU, sched uint64) (done bool, err
 	vmcb.ExitInfo2 = ev.info2
 	vmcb.Regs = ev.regs
 	vmcb.RIP = ev.rip
-	if err := cpu.StoreVMCB(x.M.Ctl, d.VMCBPA(), vmcb); err != nil {
+	if err := cpu.StoreVMCB(ctl, d.VMCBPA(), vmcb); err != nil {
 		return true, err
 	}
 	// The guest's general purpose registers land in this core's register

@@ -116,7 +116,7 @@ func TestConcurrentDomains(t *testing.T) {
 		if got := x.ConsoleLog(d.ID); !bytes.Contains(got, []byte(fmt.Sprintf("dom%d r%d;", d.ID, rounds-1))) {
 			t.Errorf("dom %d console missing final round marker: %q", d.ID, got)
 		}
-		if x.CycleAccount[d.ID] == 0 {
+		if x.DomainCycles(d.ID) == 0 {
 			t.Errorf("dom %d: no cycles accounted", d.ID)
 		}
 	}

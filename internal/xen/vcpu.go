@@ -478,9 +478,13 @@ func (x *Xen) StartVCPU(d *Domain, fn GuestFunc) *VCPU {
 // worldSwitch is installed as the CPU's VMRUN handler: it resumes the
 // guest goroutine with the register file from the VMCB, waits for the
 // next exit, and writes the guest state back into the VMCB and the CPU's
-// (plaintext!) register file.
+// (plaintext!) register file. It runs under the gate lock (the VMRUN
+// stub executes on the boot CPU); the registry read lock is released
+// right after the lookup.
 func (x *Xen) worldSwitch(vmcbPA uint64) error {
+	x.domsMu.RLock()
 	d, ok := x.vmcbToDom[hw.PhysAddr(vmcbPA)]
+	x.domsMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("xen: vmrun with unknown vmcb %#x", vmcbPA)
 	}

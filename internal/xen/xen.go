@@ -3,11 +3,13 @@ package xen
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"fidelius/internal/cpu"
 	"fidelius/internal/hw"
+	"fidelius/internal/lockrank"
 	"fidelius/internal/mmu"
+	"fidelius/internal/sev"
 )
 
 // ErrNoSuchHypercall reports an unimplemented hypercall number.
@@ -23,61 +25,98 @@ var CPUIDModel = [4]uint64{0x0F1DE115, 0x414D44, 0x5345, 0x56}
 // Xen is the hypervisor. It provides services (exit handling, scheduling,
 // hypercalls, I/O backends) and — in the unprotected baseline — also
 // manages every critical resource directly.
+//
+// There is no big hypervisor lock. Each domain carries its own lock
+// (rank: domain) held for the whole quantum; shared structures — the
+// domain registry, grant-table bytes, event-channel handler table,
+// XenStore, frame and ASID allocators, SEV firmware tables — are each
+// independently locked at their documented rank. The documented order is
+//
+//	domain → shared-shard → shootdown bus → tracer/ledger leaves
+//
+// enforced in debug builds by internal/lockrank (FIDELIUS_LOCKRANK=1).
+// Quanta of distinct domains only meet at genuine sharing points: grant
+// map/unmap (gate lock for the grant bytes), event-channel signalling
+// (handler invocation under the gate lock) and serve-ring doorbells.
 type Xen struct {
 	M *Machine
-
-	// mu is the big hypervisor lock, held by ScheduleParallel runners for
-	// every host-side step (boundary hooks, VMCB load/store, VMEXIT
-	// dispatch) and released only while their guest runs. Serial entry
-	// points (Run, RunOnce, Schedule) do not take it: they are the
-	// deterministic single-threaded mode and are never mixed with a
-	// concurrent ScheduleParallel. Lock order: mu > shootdown bus >
-	// cache-set/TLB/integrity leaf locks.
-	mu sync.Mutex
 
 	// Interpose is the resource-management seam; Fidelius replaces it.
 	Interpose Interposer
 
+	// ASIDs hands out guest ASIDs with DF_FLUSH-gated recycling, the
+	// real SEV resource discipline (the pool's batch flush is wired to
+	// the firmware's DFFlush).
+	ASIDs *sev.ASIDPool
+
+	// domsMu (lock rank: doms) guards the domain registry: Doms,
+	// vmcbToDom, backends and the ID counter. Mutating entries *inside*
+	// a Domain needs that domain's own lock, not this one.
+	domsMu    lockrank.RWMutex
 	Doms      map[DomID]*Domain
 	nextDom   DomID
-	nextASID  hw.ASID
-	Store     *XenStore
-	Events    *EventBus
 	vmcbToDom map[hw.PhysAddr]*Domain
 
-	// backends maps domain ID to its block backend.
+	Store  *XenStore
+	Events *EventBus
+
+	// backends maps domain ID to its block backend (under domsMu).
 	backends map[DomID]*BlockBackend
 
-	// console holds each domain's console output (HCConsoleIO).
-	console map[DomID][]byte
-
-	// CycleAccount attributes simulated cycles to the domain whose
-	// quantum consumed them (filled by RunOnce).
-	CycleAccount map[DomID]uint64
-
-	// Stats for tests and benchmarks.
-	ExitCounts map[cpu.ExitReason]uint64
+	// exitCounts tallies VMEXITs by reason, atomically (ExitCount reads).
+	exitCounts [exitReasonSlots]atomic.Uint64
 }
+
+// exitReasonSlots bounds the exit-reason tally array; cpu.ExitReason
+// values are small consecutive constants well below this.
+const exitReasonSlots = 16
 
 // New boots the hypervisor on a machine.
 func New(m *Machine) (*Xen, error) {
 	x := &Xen{
-		M:            m,
-		Doms:         make(map[DomID]*Domain),
-		nextDom:      1, // dom0 is the host itself
-		nextASID:     1,
-		Store:        newXenStore(),
-		vmcbToDom:    make(map[hw.PhysAddr]*Domain),
-		backends:     make(map[DomID]*BlockBackend),
-		console:      make(map[DomID][]byte),
-		CycleAccount: make(map[DomID]uint64),
-		ExitCounts:   make(map[cpu.ExitReason]uint64),
+		M:         m,
+		Doms:      make(map[DomID]*Domain),
+		nextDom:   1, // dom0 is the host itself
+		Store:     newXenStore(),
+		vmcbToDom: make(map[hw.PhysAddr]*Domain),
+		backends:  make(map[DomID]*BlockBackend),
 	}
+	x.domsMu.Init(lockrank.RankDoms, &m.Waits.Doms)
+	x.Store.SetLockInfo(lockrank.RankStore, &m.Waits.Store)
+	x.ASIDs = sev.NewASIDPool(0, m.FW.DFFlush)
+	x.ASIDs.SetLockInfo(lockrank.RankASIDPool, &m.Waits.ASIDPool)
 	x.Events = newEventBus(func(n uint64) { m.Ctl.Cycles.Charge(n) }, m.Ctl.Telem)
+	x.Events.SetLockInfo(lockrank.RankEvents, &m.Waits.Events)
+	// Event handlers touch shared host-side state (ring pages, disk,
+	// the boot controller), so they run under the gate lock — one of the
+	// genuine sharing points where concurrent quanta may contend.
+	x.Events.invoke = func(h func() error) error {
+		m.Host.Lock()
+		defer m.Host.Unlock()
+		return h()
+	}
 	x.Interpose = Direct{X: x}
 	m.CPU.VMRunFn = x.worldSwitch
 	if err := m.FW.Init(); err != nil {
 		return nil, err
+	}
+	if tel := m.Ctl.Telem; tel != nil {
+		w := m.Waits
+		for _, lw := range []struct {
+			name string
+			c    *atomic.Uint64
+		}{
+			{"domain", &w.Domain}, {"events", &w.Events}, {"store", &w.Store},
+			{"asid-pool", &w.ASIDPool}, {"gate", &w.Gate}, {"doms", &w.Doms},
+			{"firmware", &w.Firmware}, {"frames", &w.Frames},
+			{"alloc", &w.Alloc}, {"bus", &w.Bus},
+		} {
+			c := lw.c
+			tel.Reg.RegisterFunc("xen.lock_waits", func() uint64 { return c.Load() },
+				"lock", lw.name)
+		}
+		tel.Reg.RegisterFunc("sev.asid_flushes", x.ASIDs.Flushes)
+		tel.Reg.RegisterFunc("sev.asid_recycles", x.ASIDs.Recycles)
 	}
 	return x, nil
 }
@@ -85,7 +124,9 @@ func New(m *Machine) (*Xen, error) {
 // RunOnce executes one scheduling quantum of the domain: enter the
 // guest, take one VMEXIT through the interposer boundary hooks, and
 // dispatch it. It returns done=true when the guest function has
-// returned.
+// returned. The domain's own lock is held for the whole quantum; shared
+// locks (gate, doms, firmware, ...) are acquired inside it, per the
+// documented order.
 func (x *Xen) RunOnce(d *Domain) (done bool, err error) {
 	v := d.vcpu
 	if v == nil {
@@ -94,18 +135,20 @@ func (x *Xen) RunOnce(d *Domain) (done bool, err error) {
 	if v.halted {
 		return true, v.err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	start := x.M.Ctl.Cycles.Total()
 	sp := x.M.Ctl.Telem.OpenScope("quantum", uint32(d.ID), uint32(d.ASID))
 	defer func() {
 		spent := x.M.Ctl.Cycles.Sub(start)
-		x.CycleAccount[d.ID] += spent
+		d.cycles.Add(spent)
 		x.M.Ctl.Telem.M.ExitCycles.Observe(spent)
 		sp.Close()
 	}()
 	if err := x.Interpose.PreVMRun(d, d.VMCBPA()); err != nil {
 		return true, fmt.Errorf("xen: entry to %s vetoed: %w", d.Name, err)
 	}
-	if err := x.Interpose.VMRun(d.VMCBPA()); err != nil {
+	if err := x.vmrunStub(d.VMCBPA()); err != nil {
 		return true, fmt.Errorf("xen: vmrun for %s: %w", d.Name, err)
 	}
 	// Guest has exited; the boundary hook shadows before any hypervisor
@@ -120,6 +163,15 @@ func (x *Xen) RunOnce(d *Domain) (done bool, err error) {
 		return true, err
 	}
 	return false, nil
+}
+
+// vmrunStub executes the interposer's VMRUN under the gate lock: the
+// stub runs on the single shared boot CPU, so entry to it is a genuine
+// shared-machine step (the serial scheduler's world switch).
+func (x *Xen) vmrunStub(vmcbPA hw.PhysAddr) error {
+	x.M.Host.Lock()
+	defer x.M.Host.Unlock()
+	return x.Interpose.VMRun(vmcbPA)
 }
 
 // Run schedules the domain's vCPU until the guest function returns,
@@ -162,13 +214,18 @@ func (x *Xen) Schedule(doms []*Domain) map[DomID]error {
 	return errs
 }
 
-// handleExit is the hypervisor's VMEXIT dispatcher.
+// handleExit is the hypervisor's VMEXIT dispatcher. It runs with the
+// domain's lock held (by RunOnce or a parallel runner) and performs VMCB
+// I/O through the domain's controller port, so concurrent quanta of
+// different domains dispatch without sharing anything.
 func (x *Xen) handleExit(d *Domain) error {
-	vmcb, err := cpu.LoadVMCB(x.M.Ctl, d.VMCBPA())
+	vmcb, err := cpu.LoadVMCB(d.ctl, d.VMCBPA())
 	if err != nil {
 		return err
 	}
-	x.ExitCounts[vmcb.ExitCode]++
+	if int(vmcb.ExitCode) < len(x.exitCounts) {
+		x.exitCounts[vmcb.ExitCode].Add(1)
+	}
 	switch vmcb.ExitCode {
 	case cpu.ExitVMMCALL:
 		res, errno := x.hypercall(d, vmcb.Regs)
@@ -193,7 +250,7 @@ func (x *Xen) handleExit(d *Domain) error {
 	default:
 		return fmt.Errorf("xen: unhandled exit %v", vmcb.ExitCode)
 	}
-	return cpu.StoreVMCB(x.M.Ctl, d.VMCBPA(), vmcb)
+	return cpu.StoreVMCB(d.ctl, d.VMCBPA(), vmcb)
 }
 
 // handleNPF backs an unmapped GPA with a fresh frame (lazy population) or
@@ -202,9 +259,14 @@ func (x *Xen) handleExit(d *Domain) error {
 // page is dirty-logging in action: the GFN is recorded before the W bit is
 // restored.
 func (x *Xen) handleNPF(d *Domain, gpa uint64, access mmu.AccessType) error {
-	x.M.Ctl.Telem.M.NPFHandled.Inc()
+	d.ctl.Telem.M.NPFHandled.Inc()
 	gfn := gpa >> hw.PageShift
+	// The backing map is consulted and possibly grown under framesMu —
+	// released before MapNPT, whose interposed PTE write takes the gate
+	// lock (rank below frames).
+	d.framesMu.Lock()
 	if gfn >= uint64(len(d.Frames)) {
+		d.framesMu.Unlock()
 		return fmt.Errorf("xen: domain %d faulted beyond its memory at gpa %#x", d.ID, gpa)
 	}
 	pfn := d.Frames[gfn]
@@ -213,12 +275,14 @@ func (x *Xen) handleNPF(d *Domain, gpa uint64, access mmu.AccessType) error {
 		var err error
 		pfn, err = x.M.Alloc.Alloc(UseGuest, d.ID)
 		if err != nil {
+			d.framesMu.Unlock()
 			return err
 		}
 		d.Frames[gfn] = pfn
 	}
+	d.framesMu.Unlock()
 	if access == mmu.Write && d.Dirty.Mark(gfn) {
-		x.M.Ctl.Telem.M.DirtyMarks.Inc()
+		d.ctl.Telem.M.DirtyMarks.Inc()
 	}
 	pte := mmu.MakePTE(pfn, mmu.FlagP|mmu.FlagW|mmu.FlagU)
 	if fresh && access != mmu.Write && d.Dirty.Enabled() {
@@ -230,7 +294,7 @@ func (x *Xen) handleNPF(d *Domain, gpa uint64, access mmu.AccessType) error {
 		// Re-permitting an existing mapping (the dirty-logging W restore)
 		// must keep the leaf's other attributes — the C-bit under
 		// fidelius-enc in particular.
-		if cur, err := x.readPTE(slot); err == nil && cur.Present() && cur.PFN() == pfn {
+		if cur, err := x.readPTE(d, slot); err == nil && cur.Present() && cur.PFN() == pfn {
 			pte = cur.WithFlags(mmu.FlagW)
 		}
 	}
@@ -239,19 +303,61 @@ func (x *Xen) handleNPF(d *Domain, gpa uint64, access mmu.AccessType) error {
 
 // Dom returns a domain by ID.
 func (x *Xen) Dom(id DomID) (*Domain, bool) {
+	x.domsMu.RLock()
 	d, ok := x.Doms[id]
+	x.domsMu.RUnlock()
 	return d, ok
 }
 
 // DomByVMCB returns the domain whose VMCB lives at the given physical
 // address.
 func (x *Xen) DomByVMCB(pa hw.PhysAddr) (*Domain, bool) {
+	x.domsMu.RLock()
 	d, ok := x.vmcbToDom[pa]
+	x.domsMu.RUnlock()
 	return d, ok
 }
 
 // ConsoleLog returns everything a domain has written through the console
-// hypercall.
+// hypercall. The registry lock is released before the domain lock is
+// taken (doms ranks above domain), so the lookup and the copy are two
+// steps.
 func (x *Xen) ConsoleLog(id DomID) []byte {
-	return append([]byte{}, x.console[id]...)
+	d, ok := x.Dom(id)
+	if !ok {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte{}, d.console...)
+}
+
+// DomainCycles reports the simulated cycles charged to a domain's quanta
+// so far — the per-domain successor of the old global cycle-account map.
+func (x *Xen) DomainCycles(id DomID) uint64 {
+	d, ok := x.Dom(id)
+	if !ok {
+		return 0
+	}
+	return d.cycles.Load()
+}
+
+// ExitCount reports how many VMEXITs with the given reason the
+// hypervisor has dispatched.
+func (x *Xen) ExitCount(r cpu.ExitReason) uint64 {
+	if int(r) >= len(x.exitCounts) {
+		return 0
+	}
+	return x.exitCounts[r].Load()
+}
+
+// ExitCountsSnapshot returns the non-zero exit-reason tallies as a map.
+func (x *Xen) ExitCountsSnapshot() map[cpu.ExitReason]uint64 {
+	out := make(map[cpu.ExitReason]uint64)
+	for i := range x.exitCounts {
+		if n := x.exitCounts[i].Load(); n > 0 {
+			out[cpu.ExitReason(i)] = n
+		}
+	}
+	return out
 }

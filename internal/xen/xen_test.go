@@ -142,8 +142,8 @@ func TestVoidHypercallAndCPUID(t *testing.T) {
 	if cpuidRegs[0] != 0x0F1DE115 || cpuidRegs[1] != 0x414D44 {
 		t.Fatalf("cpuid regs %#x", cpuidRegs)
 	}
-	if x.ExitCounts[cpu.ExitVMMCALL] != 1 || x.ExitCounts[cpu.ExitCPUID] != 1 {
-		t.Fatalf("exit counts %v", x.ExitCounts)
+	if x.ExitCount(cpu.ExitVMMCALL) != 1 || x.ExitCount(cpu.ExitCPUID) != 1 {
+		t.Fatalf("exit counts %v", x.ExitCountsSnapshot())
 	}
 }
 
@@ -169,7 +169,7 @@ func TestLazyNPTPopulation(t *testing.T) {
 	if err := x.Run(d); err != nil {
 		t.Fatal(err)
 	}
-	if x.ExitCounts[cpu.ExitNPF] == 0 {
+	if x.ExitCount(cpu.ExitNPF) == 0 {
 		t.Fatal("expected NPT violations with lazy population")
 	}
 	if _, ok := d.GPAFrame(2); !ok {

@@ -163,7 +163,7 @@ func TestScheduleParallelFacadeUnprotected(t *testing.T) {
 		t.Error("released cores left cycles outside the base counter")
 	}
 	for _, d := range doms {
-		if plat.X.CycleAccount[d.ID] == 0 {
+		if plat.X.DomainCycles(d.ID) == 0 {
 			t.Errorf("%s: no cycles attributed", d.Name)
 		}
 	}
