@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench benchsmoke benchdiff vet fmt check fuzz stress lockrank migrate trace examples tables attacks xsa demo serve clean
+.PHONY: all build test race bench benchsmoke benchdiff vet fmt check fuzz stress lockrank migrate trace examples tables attacks xsa demo serve serve-smoke clean
 
 all: build test
 
-check: build vet test lockrank race stress fuzz benchsmoke
+check: build vet test lockrank race stress fuzz benchsmoke serve-smoke
 	$(GO) run ./examples/migration
 	$(GO) run ./cmd/fidelius-serve -tenants 2 -clients 16 -duration 100 -tamper 1
 
@@ -49,23 +49,29 @@ migrate:
 	$(GO) run ./cmd/fidelius-migrate -faulty
 	$(GO) run ./cmd/fidelius-migrate -tamper
 
-# Full benchmark run, captured as a JSON artifact for regression diffing.
+# Full benchmark run, captured as a JSON artifact for regression
+# diffing. -count=3 lets benchjson take the per-metric median, so one
+# wall-clock outlier on a busy container cannot poison the artifact.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_8.json
+	$(GO) test -run '^$$' -bench=. -benchmem -count=3 . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_9.json
 
 # One-iteration pass over every benchmark: catches bit-rot in the
 # benchmark harness without paying for a full measurement run.
 benchsmoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 
-# Regression gate between two captured benchmark artifacts: fails when
-# any ns/op delta exceeds the threshold percentage, e.g.
-# `make benchdiff BENCH_OLD=BENCH_4.json BENCH_NEW=BENCH_5.json`.
-BENCH_OLD ?= BENCH_7.json
-BENCH_NEW ?= BENCH_8.json
+# Regression gate between two captured benchmark artifacts, e.g.
+# `make benchdiff BENCH_OLD=BENCH_8.json BENCH_NEW=BENCH_9.json`.
+# Deterministic cycle metrics gate tight (they are bit-reproducible);
+# wall-clock ns/op gets a looser threshold because goroutine-heavy
+# benchmarks on the shared 1-CPU container swing ±15% run-to-run even
+# under the median-of-3 capture.
+BENCH_OLD ?= BENCH_8.json
+BENCH_NEW ?= BENCH_9.json
 BENCH_THRESHOLD ?= 10
+BENCH_WALL_THRESHOLD ?= 20
 benchdiff:
-	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) -wall-threshold $(BENCH_WALL_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
 
 vet:
 	$(GO) vet ./...
@@ -96,6 +102,13 @@ demo:
 # open-loop load, attestation-gated admission, per-tenant SLO table.
 serve:
 	$(GO) run ./cmd/fidelius-serve
+
+# Serving smoke gate: a short put-heavy run at the *old* seek-bound
+# knee's offered rate (~1.4 ops/Mcycle fleet = 0.35/tenant x 4). Before
+# group commit this rate saturated the put path; with it the run must
+# finish with zero SLO burn and zero deadline misses, or the gate fails.
+serve-smoke:
+	$(GO) run ./cmd/fidelius-serve -tenants 4 -clients 16 -rate 0.35 -duration 60 -putfrac 0.7 -delfrac 0.1 -smoke
 
 trace:
 	$(GO) run ./cmd/fidelius-demo -trace fidelius-trace.json -metrics

@@ -18,6 +18,11 @@
 // were captured in the same environment (same Go version, CPU, core
 // count). Cross-environment ns/op deltas are still printed, but flagged
 // as ungated noise rather than regressions.
+//
+// Repeated lines for the same benchmark (a `-count=N` capture) collapse
+// into one result holding the per-metric median, so a single wall-clock
+// outlier on a busy container cannot poison the artifact; `make bench`
+// captures with -count=3 for exactly this reason.
 package main
 
 import (
@@ -110,6 +115,48 @@ func parseStream(in io.Reader, echo io.Writer) (Report, error) {
 		}
 	}
 	return rep, sc.Err()
+}
+
+// aggregate collapses repeated benchmark lines (a -count>1 capture)
+// into one Result per name, taking the per-metric median across runs.
+// The wall clock on a shared CI container draws occasional 15-20%
+// outliers; the median keeps the artifact representative without hiding
+// sustained shifts. Deterministic cycle metrics are identical across
+// runs, so the median is a no-op for them.
+func aggregate(in []Result) []Result {
+	var order []string
+	group := map[string][]Result{}
+	for _, r := range in {
+		if _, ok := group[r.Name]; !ok {
+			order = append(order, r.Name)
+		}
+		group[r.Name] = append(group[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		runs := group[name]
+		if len(runs) == 1 {
+			out = append(out, runs[0])
+			continue
+		}
+		agg := Result{Name: name, Metrics: map[string]float64{}}
+		units := map[string][]float64{}
+		iters := make([]int64, 0, len(runs))
+		for _, r := range runs {
+			iters = append(iters, r.Iterations)
+			for u, v := range r.Metrics {
+				units[u] = append(units[u], v)
+			}
+		}
+		sort.Slice(iters, func(i, j int) bool { return iters[i] < iters[j] })
+		agg.Iterations = iters[len(iters)/2]
+		for u, vs := range units {
+			sort.Float64s(vs)
+			agg.Metrics[u] = vs[len(vs)/2]
+		}
+		out = append(out, agg)
+	}
+	return out
 }
 
 // Delta is one benchmark's old-vs-new comparison. Percentages are
@@ -222,12 +269,16 @@ func diffReports(oldRep, newRep Report) []Delta {
 }
 
 // writeDiff renders the comparison table and reports whether any gated
-// regression exceeds threshold percent. Deterministic cycle metrics
-// always gate; wall-clock ns/op gates only when gateWall is true (same
-// capture environment on both sides). Nonzero cycle deltas are printed
-// under their benchmark's row — the simulation is deterministic, so any
-// movement there is a real behavioral change.
-func writeDiff(w io.Writer, deltas []Delta, threshold float64, gateWall bool) bool {
+// regression exceeds its threshold percent. Deterministic cycle metrics
+// always gate at simThreshold; wall-clock ns/op gates at wallThreshold,
+// and only when gateWall is true (same capture environment on both
+// sides). The two thresholds exist because the two metric classes have
+// different noise floors: cycle metrics are bit-reproducible, while
+// goroutine-heavy benchmarks on a shared 1-CPU container swing ±15%
+// run-to-run even under a median-of-3 capture. Nonzero cycle deltas are
+// printed under their benchmark's row — the simulation is
+// deterministic, so any movement there is a real behavioral change.
+func writeDiff(w io.Writer, deltas []Delta, wallThreshold, simThreshold float64, gateWall bool) bool {
 	regressed := false
 	fmt.Fprintf(w, "%-56s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ns %", "allocs %")
 	for _, d := range deltas {
@@ -238,7 +289,7 @@ func writeDiff(w io.Writer, deltas []Delta, threshold float64, gateWall bool) bo
 			fmt.Fprintf(w, "%-56s %14s %14.1f %8s %10s  (added)\n", d.Name, "-", d.NewNs, "-", "-")
 		default:
 			flag := ""
-			if d.NsPct > threshold {
+			if d.NsPct > wallThreshold {
 				switch {
 				case d.OldNs < wallFloorNs && d.NewNs < wallFloorNs:
 					flag = "  (sub-resolution, not gated)"
@@ -256,7 +307,7 @@ func writeDiff(w io.Writer, deltas []Delta, threshold float64, gateWall bool) bo
 					continue
 				}
 				flag := ""
-				if s.Pct > threshold {
+				if s.Pct > simThreshold {
 					flag = "  REGRESSION"
 					regressed = true
 				}
@@ -279,7 +330,8 @@ func loadReport(path string) (Report, error) {
 func main() {
 	out := flag.String("o", "BENCH.json", "output JSON path")
 	diff := flag.Bool("diff", false, "compare two report files: benchjson -diff old.json new.json")
-	threshold := flag.Float64("threshold", 10, "ns/op regression threshold percent for -diff exit code")
+	threshold := flag.Float64("threshold", 10, "regression threshold percent for deterministic cycle metrics in -diff")
+	wallThreshold := flag.Float64("wall-threshold", 0, "regression threshold percent for wall-clock ns/op (0 = same as -threshold)")
 	flag.Parse()
 
 	if *diff {
@@ -298,8 +350,11 @@ func main() {
 		if !gateWall {
 			fmt.Fprintln(os.Stderr, "benchjson: capture environments differ; ns/op deltas reported but not gated (simulated cycle metrics still gate)")
 		}
-		if writeDiff(os.Stdout, diffReports(oldRep, newRep), *threshold, gateWall) {
-			fmt.Fprintf(os.Stderr, "benchjson: regression over %.1f%% detected\n", *threshold)
+		if *wallThreshold == 0 {
+			*wallThreshold = *threshold
+		}
+		if writeDiff(os.Stdout, diffReports(oldRep, newRep), *wallThreshold, *threshold, gateWall) {
+			fmt.Fprintf(os.Stderr, "benchjson: regression detected (thresholds: %.1f%% cycles, %.1f%% wall)\n", *threshold, *wallThreshold)
 			os.Exit(1)
 		}
 		return
@@ -312,6 +367,7 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		log.Fatal("benchjson: no benchmark lines on stdin")
 	}
+	rep.Benchmarks = aggregate(rep.Benchmarks)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -76,14 +76,14 @@ func TestDiffReports(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	if regressed := writeDiff(&sb, deltas, 10, true); !regressed {
+	if regressed := writeDiff(&sb, deltas, 10, 10, true); !regressed {
 		t.Error("25%% ns/op regression over a 10%% threshold must trip the gate")
 	}
 	if !strings.Contains(sb.String(), "REGRESSION") {
 		t.Error("diff table should flag the regression")
 	}
 	sb.Reset()
-	if regressed := writeDiff(&sb, deltas, 30, true); regressed {
+	if regressed := writeDiff(&sb, deltas, 30, 30, true); regressed {
 		t.Error("25%% regression under a 30%% threshold must pass")
 	}
 }
@@ -94,7 +94,7 @@ func TestDiffWallClockUngatedAcrossEnvironments(t *testing.T) {
 	deltas := diffReports(oldRep, newRep)
 
 	var sb strings.Builder
-	if regressed := writeDiff(&sb, deltas, 10, false); regressed {
+	if regressed := writeDiff(&sb, deltas, 10, 10, false); regressed {
 		t.Error("ns/op regression must not gate when capture environments differ")
 	}
 	if !strings.Contains(sb.String(), "not gated") {
@@ -111,7 +111,7 @@ func TestDiffSubResolutionWallClockUngated(t *testing.T) {
 	deltas := diffReports(oldRep, newRep)
 
 	var sb strings.Builder
-	if regressed := writeDiff(&sb, deltas, 10, true); regressed {
+	if regressed := writeDiff(&sb, deltas, 10, 10, true); regressed {
 		t.Error("sub-resolution ns/op delta must not gate even in the same environment")
 	}
 	if !strings.Contains(sb.String(), "sub-resolution") {
@@ -123,7 +123,7 @@ func TestDiffSubResolutionWallClockUngated(t *testing.T) {
 		mkReport(map[string]float64{"BenchReal": 50}, map[string]float64{"BenchReal": 0}),
 		mkReport(map[string]float64{"BenchReal": 200}, map[string]float64{"BenchReal": 0}))
 	sb.Reset()
-	if regressed := writeDiff(&sb, deltas, 10, true); !regressed {
+	if regressed := writeDiff(&sb, deltas, 10, 10, true); !regressed {
 		t.Error("a regression crossing the floor must still gate")
 	}
 }
@@ -145,7 +145,7 @@ func TestDiffSimulatedCycleMetricsAlwaysGate(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	if regressed := writeDiff(&sb, deltas, 10, false); !regressed {
+	if regressed := writeDiff(&sb, deltas, 10, 10, false); !regressed {
 		t.Error("+50%% downtime-cycles must gate even across environments")
 	}
 	if !strings.Contains(sb.String(), "downtime-cycles") {
@@ -165,5 +165,33 @@ func TestSameEnv(t *testing.T) {
 	}
 	if sameEnv(Report{}, Report{}) {
 		t.Error("artifacts without environment stamps must never compare equal")
+	}
+}
+
+func TestAggregateMedianOfRepeatedRuns(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkA", Iterations: 100, Metrics: map[string]float64{"ns/op": 1000, "put-cycles": 42}},
+		{Name: "BenchmarkB", Iterations: 5, Metrics: map[string]float64{"ns/op": 7}},
+		{Name: "BenchmarkA", Iterations: 90, Metrics: map[string]float64{"ns/op": 5000, "put-cycles": 42}},
+		{Name: "BenchmarkA", Iterations: 110, Metrics: map[string]float64{"ns/op": 1100, "put-cycles": 42}},
+	}
+	out := aggregate(in)
+	if len(out) != 2 || out[0].Name != "BenchmarkA" || out[1].Name != "BenchmarkB" {
+		t.Fatalf("aggregate order/length wrong: %+v", out)
+	}
+	// The 5000 outlier must lose to the median, and the deterministic
+	// cycle metric must come through unchanged.
+	if got := out[0].Metrics["ns/op"]; got != 1100 {
+		t.Errorf("median ns/op = %v, want 1100", got)
+	}
+	if got := out[0].Metrics["put-cycles"]; got != 42 {
+		t.Errorf("put-cycles = %v, want 42", got)
+	}
+	if out[0].Iterations != 100 {
+		t.Errorf("median iterations = %d, want 100", out[0].Iterations)
+	}
+	// Single-run benchmarks pass through untouched.
+	if out[1].Metrics["ns/op"] != 7 || out[1].Iterations != 5 {
+		t.Errorf("single run mutated: %+v", out[1])
 	}
 }

@@ -138,8 +138,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.FormatServeSweep(rows))
+		fmt.Println(bench.FormatServeSweep("open-loop offered-rate sweep, default mix", rows))
 		writeCSV("serve.csv", func(f *os.File) error { return bench.WriteServeCSV(f, rows) })
+		ph, err := bench.ServePutHeavySweep(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatServeSweep("put-heavy mix (70% put / 10% delete)", ph))
+		writeCSV("serve_putheavy.csv", func(f *os.File) error { return bench.WriteServeCSV(f, ph) })
 	}
 	if all || *ablation {
 		ga, err := bench.MeasureGateAblation(200)

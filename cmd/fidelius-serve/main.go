@@ -21,9 +21,13 @@
 //
 // -rate is each tenant's offered load in operations per million cycles.
 // -duration M resizes the workload so arrivals span roughly M million
-// cycles (the smoke-test knob). -json dumps the per-tenant reports as
-// JSON; -trace captures the run (serve-request spans included) as a
-// Chrome trace_event timeline.
+// cycles (the smoke-test knob). -putfrac/-delfrac override the op mix.
+// -smoke turns the run into a pass/fail gate: exit nonzero if any
+// evaluated SLO burns its budget or any op misses its deadline — CI runs
+// this at the old seek-bound knee's offered rate, where the group-commit
+// put path must now cruise. -json dumps the per-tenant reports as JSON;
+// -trace captures the run (serve-request spans included) as a Chrome
+// trace_event timeline.
 package main
 
 import (
@@ -46,6 +50,9 @@ func main() {
 	width := flag.Int("width", 4, "parallel scheduler width")
 	tamper := flag.Int("tamper", 0, "tamper the expected measurement of the last N tenants (admission must refuse them)")
 	duration := flag.Float64("duration", 0, "resize the workload so arrivals span ~this many million cycles (0 = use -ops)")
+	putFrac := flag.Float64("putfrac", 0, "fraction of ops that are puts (0 = package default mix)")
+	delFrac := flag.Float64("delfrac", 0, "fraction of ops that are deletes (0 = package default mix)")
+	smoke := flag.Bool("smoke", false, "gate mode: exit nonzero on any SLO burn or deadline miss")
 	jsonOut := flag.Bool("json", false, "dump per-tenant reports as JSON")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
@@ -64,6 +71,8 @@ func main() {
 		ClientsPerTenant: *clients,
 		OpsPerClient:     *ops,
 		RatePerMCycle:    *rate,
+		PutFrac:          *putFrac,
+		DelFrac:          *delFrac,
 		Parallel:         *parallel,
 		Width:            *width,
 	}
@@ -151,6 +160,26 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *smoke {
+		var timeouts uint64
+		for _, r := range reports {
+			timeouts += r.Timeouts
+		}
+		burned := 0
+		for _, ev := range svc.EvaluateSLOs() {
+			if !ev.Skipped && !ev.Pass {
+				fmt.Fprintf(os.Stderr, "smoke: SLO %q burned (value %.0f)\n", ev.Name, ev.Value)
+				burned++
+			}
+		}
+		if timeouts > 0 {
+			fmt.Fprintf(os.Stderr, "smoke: %d ops missed their deadline\n", timeouts)
+		}
+		if burned > 0 || timeouts > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("smoke: all evaluated SLOs within budget, zero deadline misses")
 	}
 	if err := svc.Shutdown(); err != nil {
 		log.Fatal(err)

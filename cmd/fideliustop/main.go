@@ -185,6 +185,19 @@ func main() {
 					r.Name, r.Ops, r.P50, r.P99,
 					burn["serve-p50:"+r.Name], burn["serve-p99:"+r.Name])
 			}
+			var serveOps uint64
+			for _, r := range serveSvc.Reports() {
+				serveOps += r.Ops
+			}
+			seekR := snap.Counters["xen.disk_seeks{kind=read}"]
+			seekW := snap.Counters["xen.disk_seeks{kind=write}"]
+			seeksPerOp := 0.0
+			if serveOps > 0 {
+				seeksPerOp = float64(seekR+seekW) / float64(serveOps)
+			}
+			fmt.Printf("disk: %d seeks (%d read, %d write), %.2f seeks/op; kv: %d seq writes, %d group commits\n",
+				seekR+seekW, seekR, seekW, seeksPerOp,
+				snap.Counters["kv.seq_writes"], snap.Counters["kv.group_commits"])
 			fmt.Println()
 		}
 		recs := plat.AuditRecords()

@@ -13,10 +13,13 @@ import (
 // Serving sweep: the multi-tenant KV front end driven at increasing
 // open-loop offered rates. Because arrivals never slow down for the
 // server, the sweep exposes the knee directly — sustained throughput
-// tracks the offered rate until the seek-dominated put path saturates,
-// after which completed ops plateau and the arrival-to-response
-// quantiles absorb the growing queue instead. A closed-loop generator
-// would show neither.
+// tracks the offered rate until the put path saturates, after which
+// completed ops plateau and the arrival-to-response quantiles absorb the
+// growing queue instead. A closed-loop generator would show neither.
+//
+// Since the group-commit work the sweep also reports disk seeks per op
+// (from the xen.disk_seeks counters the blkio seek model exports): the
+// knee moving is only meaningful if the seeks column falls with it.
 
 // ServeRow is one offered rate evaluated end to end.
 type ServeRow struct {
@@ -25,28 +28,48 @@ type ServeRow struct {
 	Throughput float64 // completed ops per Mcycle (fleet)
 	P50        float64 // arrival-to-response cycles
 	P99        float64
-	Timeouts   uint64 // ops past their deadline
-	P50Pass    bool   // stock serve-p50 objective verdict
+	Timeouts   uint64  // ops past their deadline
+	Seeks      uint64  // non-sequential disk requests, fleet total
+	SeeksPerOp float64 // seeks / completed ops
+	P50Pass    bool    // stock serve-p50 objective verdict
 	P99Pass    bool
 }
 
 // serveSweepConfig is the per-rate scenario shape (small enough that the
-// whole sweep stays in benchmark time).
-func serveSweepConfig(rate float64) serve.Config {
+// whole sweep stays in benchmark time). putFrac/delFrac zero means the
+// package-default mix.
+func serveSweepConfig(rate, putFrac, delFrac float64) serve.Config {
 	return serve.Config{
 		Tenants:          4,
 		ClientsPerTenant: 16,
 		OpsPerClient:     2,
 		RatePerMCycle:    rate,
+		PutFrac:          putFrac,
+		DelFrac:          delFrac,
 		Seed:             7,
 	}
 }
 
+// defaultSweepRates covers well below the old seek-bound knee
+// (~1.4 ops/Mcycle fleet) up past the group-commit knee, so before/after
+// comparisons land on the same offered points.
+var defaultSweepRates = []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2}
+
 // ServeSweep runs the serving scenario once per offered rate, each on a
-// fresh protected platform.
+// fresh protected platform, with the package-default op mix.
 func ServeSweep(rates []float64) ([]ServeRow, error) {
+	return sweepMix(rates, 0, 0)
+}
+
+// ServePutHeavySweep is ServeSweep on a mutation-dominated mix (70% put,
+// 10% delete) — the workload whose knee the kv group commit moves.
+func ServePutHeavySweep(rates []float64) ([]ServeRow, error) {
+	return sweepMix(rates, 0.7, 0.1)
+}
+
+func sweepMix(rates []float64, putFrac, delFrac float64) ([]ServeRow, error) {
 	if len(rates) == 0 {
-		rates = []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+		rates = defaultSweepRates
 	}
 	rows := make([]ServeRow, 0, len(rates))
 	for _, rate := range rates {
@@ -62,7 +85,7 @@ func ServeSweep(rates []float64) ([]ServeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		svc, err := serve.New(f, serveSweepConfig(rate))
+		svc, err := serve.New(f, serveSweepConfig(rate, putFrac, delFrac))
 		if err != nil {
 			return nil, err
 		}
@@ -79,6 +102,11 @@ func ServeSweep(rates []float64) ([]ServeRow, error) {
 		if el := svc.Elapsed(); el > 0 {
 			row.Throughput = float64(row.Ops) / (float64(el) / 1e6)
 		}
+		tel := x.M.Ctl.Telem.M
+		row.Seeks = tel.DiskSeekReads.Value() + tel.DiskSeekWrites.Value()
+		if row.Ops > 0 {
+			row.SeeksPerOp = float64(row.Seeks) / float64(row.Ops)
+		}
 		for _, ev := range svc.EvaluateSLOs() {
 			switch ev.Name {
 			case "serve-p50":
@@ -93,14 +121,14 @@ func ServeSweep(rates []float64) ([]ServeRow, error) {
 }
 
 // FormatServeSweep renders the sweep as a table.
-func FormatServeSweep(rows []ServeRow) string {
+func FormatServeSweep(title string, rows []ServeRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Serving: open-loop offered-rate sweep (4 tenants x 16 clients)\n")
-	fmt.Fprintf(&b, "%10s %6s %12s %12s %12s %8s %6s %6s\n",
-		"ops/Mc/ten", "ops", "done/Mcyc", "p50(cyc)", "p99(cyc)", "tmo", "p50", "p99")
+	fmt.Fprintf(&b, "Serving: %s (4 tenants x 16 clients)\n", title)
+	fmt.Fprintf(&b, "%10s %6s %12s %12s %12s %8s %9s %6s %6s\n",
+		"ops/Mc/ten", "ops", "done/Mcyc", "p50(cyc)", "p99(cyc)", "tmo", "seeks/op", "p50", "p99")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%10.3g %6d %12.3f %12.0f %12.0f %8d %6s %6s\n",
-			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts,
+		fmt.Fprintf(&b, "%10.3g %6d %12.3f %12.0f %12.0f %8d %9.2f %6s %6s\n",
+			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts, r.SeeksPerOp,
 			verdict(r.P50Pass), verdict(r.P99Pass))
 	}
 	return b.String()
@@ -115,12 +143,12 @@ func verdict(pass bool) string {
 
 // WriteServeCSV emits the sweep as CSV.
 func WriteServeCSV(w io.Writer, rows []ServeRow) error {
-	if _, err := fmt.Fprintln(w, "rate_per_mcycle,ops,throughput_per_mcycle,p50_cycles,p99_cycles,timeouts,p50_pass,p99_pass"); err != nil {
+	if _, err := fmt.Fprintln(w, "rate_per_mcycle,ops,throughput_per_mcycle,p50_cycles,p99_cycles,timeouts,seeks,seeks_per_op,p50_pass,p99_pass"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "%g,%d,%f,%f,%f,%d,%t,%t\n",
-			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts, r.P50Pass, r.P99Pass); err != nil {
+		if _, err := fmt.Fprintf(w, "%g,%d,%f,%f,%f,%d,%d,%f,%t,%t\n",
+			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts, r.Seeks, r.SeeksPerOp, r.P50Pass, r.P99Pass); err != nil {
 			return err
 		}
 	}

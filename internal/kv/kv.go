@@ -7,18 +7,32 @@
 //
 // On-disk layout: a sequence of sector-aligned records,
 //
-//	[4B magic][4B keyLen][4B valLen][key][value][padding to sector]
+//	[4B magic][4B keyLen][4B valLen][4B crc][key][value][padding to sector]
 //
 // terminated by a zero sector. A valLen of 0xFFFFFFFF marks a tombstone
 // (the key is deleted; no value bytes follow), so an empty value and a
-// deletion are distinct on disk. The store is crash-simple: reopening
-// scans the log and rebuilds the index.
+// deletion are distinct on disk. The crc (IEEE CRC-32 over the length
+// fields, key and value) exists for group commit: a batch is written as
+// one contiguous record span after the terminator, so a crash can tear
+// the span mid-record, leaving a head sector whose lengths parse but
+// whose tail was never written. Replay detects that with the crc and
+// truncates the log at the torn record — the longest valid prefix wins.
+// The store is crash-simple: reopening scans the log and rebuilds the
+// index.
+//
+// Write ordering: every commit (single Put/Delete or a batched Apply)
+// writes the *new* terminator first, then the record span. A torn
+// sequence therefore always replays to a valid prefix of the committed
+// ops. When the device implements Flusher (see WriteCoalescer), the
+// store inserts a flush barrier between the terminator and the span so
+// coalescing cannot reorder them into one request.
 package kv
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // BlockDev is the sector interface the store persists through — satisfied
@@ -33,6 +47,17 @@ const SectorSize = 512
 
 const magic = 0xF1DE1105
 
+// headerSize is the fixed record prefix: magic, keyLen, valLen, crc.
+const headerSize = 16
+
+// Bounds enforced on both the write path (append/Apply) and replay. The
+// pair must agree: a record accepted by Put but rejected by replay would
+// make the store unopenable.
+const (
+	MaxKeyLen   = 4096
+	MaxValueLen = 1 << 20
+)
+
 // tombstoneLen in the valLen header field marks a deletion record. The
 // sentinel keeps tombstones distinct from legitimate empty values, which
 // earlier versions conflated (a Put of an empty value acted as a Delete).
@@ -43,6 +68,26 @@ var ErrNotFound = errors.New("kv: key not found")
 
 // ErrCorrupt reports an undecodable log.
 var ErrCorrupt = errors.New("kv: corrupt log")
+
+// ErrTooLarge reports a key or value exceeding the on-disk bounds. It is
+// returned at append time — before this check existed an oversized Put
+// succeeded and then poisoned the log, so the *next* Open failed with
+// ErrCorrupt.
+var ErrTooLarge = errors.New("kv: key or value too large")
+
+// Flusher is implemented by buffering devices (WriteCoalescer). The
+// store flushes at its two commit barriers: after the terminator write
+// and after the record span.
+type Flusher interface {
+	Flush() error
+}
+
+// Op is one mutation in a group commit. Delete ignores Value.
+type Op struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
 
 // Format initialises a fresh store region by writing the log terminator.
 // It is required before the first Open when the device is an encrypting
@@ -55,6 +100,7 @@ func Format(dev BlockDev, baseLBA uint64) error {
 // Store is one open key-value store.
 type Store struct {
 	dev     BlockDev
+	fl      Flusher // dev's flush barrier, nil when dev does not buffer
 	baseLBA uint64
 	maxLBA  uint64
 	nextLBA uint64
@@ -71,6 +117,7 @@ func Open(dev BlockDev, baseLBA uint64, sectors int) (*Store, error) {
 		nextLBA: baseLBA,
 		index:   make(map[string][]byte),
 	}
+	s.fl, _ = dev.(Flusher)
 	if err := s.replay(); err != nil {
 		return nil, err
 	}
@@ -78,11 +125,23 @@ func Open(dev BlockDev, baseLBA uint64, sectors int) (*Store, error) {
 }
 
 func recordSectors(keyLen, valLen int) int {
-	return (12 + keyLen + valLen + SectorSize - 1) / SectorSize
+	return (headerSize + keyLen + valLen + SectorSize - 1) / SectorSize
 }
 
-// replay scans the log rebuilding the index.
+// recordCRC covers the length fields plus payload so a torn or patched
+// record cannot keep a stale checksum from a different geometry.
+func recordCRC(hdr []byte, key string, value []byte) uint32 {
+	c := crc32.ChecksumIEEE(hdr[4:12])
+	c = crc32.Update(c, crc32.IEEETable, []byte(key))
+	return crc32.Update(c, crc32.IEEETable, value)
+}
+
+// replay scans the log rebuilding the index. Each record is read exactly
+// once: the head sector is parsed in place and only the tail sectors
+// (if any) are fetched afterwards — an earlier version re-read the head
+// inside the full-record read, doubling replay's sector traffic.
 func (s *Store) replay() error {
+	var buf []byte
 	head := make([]byte, SectorSize)
 	for s.nextLBA < s.maxLBA {
 		if err := s.dev.ReadSectors(s.nextLBA, head); err != nil {
@@ -102,26 +161,155 @@ func (s *Store) replay() error {
 		if dead {
 			valLen = 0
 		}
-		if keyLen <= 0 || keyLen > 4096 || valLen < 0 || valLen > 1<<20 {
+		if keyLen <= 0 || keyLen > MaxKeyLen || valLen < 0 || valLen > MaxValueLen {
 			return fmt.Errorf("%w: silly lengths %d/%d", ErrCorrupt, keyLen, valLen)
 		}
 		n := recordSectors(keyLen, valLen)
 		if s.nextLBA+uint64(n) > s.maxLBA {
 			return fmt.Errorf("%w: record overruns the region", ErrCorrupt)
 		}
-		buf := make([]byte, n*SectorSize)
-		if err := s.dev.ReadSectors(s.nextLBA, buf); err != nil {
-			return err
+		if cap(buf) < n*SectorSize {
+			buf = make([]byte, n*SectorSize)
 		}
-		key := string(buf[12 : 12+keyLen])
+		buf = buf[:n*SectorSize]
+		copy(buf, head)
+		if n > 1 {
+			if err := s.dev.ReadSectors(s.nextLBA+1, buf[SectorSize:]); err != nil {
+				return err
+			}
+		}
+		key := string(buf[headerSize : headerSize+keyLen])
+		val := buf[headerSize+keyLen : headerSize+keyLen+valLen]
+		if binary.LittleEndian.Uint32(buf[12:]) != recordCRC(buf, key, val) {
+			// Torn tail of a group commit: the head sector landed but the
+			// rest of the span did not. Everything before this record is
+			// the longest valid prefix — stop here and let the next commit
+			// overwrite the debris.
+			return nil
+		}
 		if dead {
 			delete(s.index, key) // tombstone
 		} else {
-			s.index[key] = append([]byte{}, buf[12+keyLen:12+keyLen+valLen]...)
+			s.index[key] = append([]byte{}, val...)
 		}
 		s.nextLBA += uint64(n)
 	}
 	return nil
+}
+
+// validate enforces the same bounds replay does, at append time.
+func validate(op Op) error {
+	if op.Key == "" {
+		return errors.New("kv: empty key")
+	}
+	if len(op.Key) > MaxKeyLen {
+		return fmt.Errorf("%w: key is %d bytes (max %d)", ErrTooLarge, len(op.Key), MaxKeyLen)
+	}
+	if !op.Delete && len(op.Value) > MaxValueLen {
+		return fmt.Errorf("%w: value is %d bytes (max %d)", ErrTooLarge, len(op.Value), MaxValueLen)
+	}
+	return nil
+}
+
+// encodeRecord fills buf (recordSectors worth, pre-zeroed) with op's
+// on-disk record.
+func encodeRecord(buf []byte, op Op) {
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(op.Key)))
+	if op.Delete {
+		binary.LittleEndian.PutUint32(buf[8:], tombstoneLen)
+	} else {
+		binary.LittleEndian.PutUint32(buf[8:], uint32(len(op.Value)))
+	}
+	val := op.Value
+	if op.Delete {
+		val = nil
+	}
+	binary.LittleEndian.PutUint32(buf[12:], recordCRC(buf, op.Key, val))
+	copy(buf[headerSize:], op.Key)
+	copy(buf[headerSize+len(op.Key):], val)
+}
+
+func (s *Store) flush() error {
+	if s.fl != nil {
+		return s.fl.Flush()
+	}
+	return nil
+}
+
+// Apply group-commits a batch of mutations: one terminator write plus
+// one contiguous record span, so a batch of N ops costs the same two
+// non-sequential disk writes a single Put used to. Ops land in the index
+// in slice order (a later op on the same key wins), and the resulting
+// log bytes are identical to issuing the ops serially. On error nothing
+// is applied to the index; a torn span on disk replays to a valid prefix
+// of the batch.
+func (s *Store) Apply(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	total := uint64(0)
+	for _, op := range ops {
+		if err := validate(op); err != nil {
+			return err
+		}
+		valLen := len(op.Value)
+		if op.Delete {
+			valLen = 0
+		}
+		total += uint64(recordSectors(len(op.Key), valLen))
+	}
+	if s.nextLBA+total > s.maxLBA {
+		return errors.New("kv: store full")
+	}
+	// Terminator first, then the span: a torn sequence still replays.
+	if s.nextLBA+total < s.maxLBA {
+		if err := Format(s.dev, s.nextLBA+total); err != nil {
+			return err
+		}
+	}
+	// Barrier: the terminator must reach the device before any record so
+	// a buffering device cannot merge them into one (reorderable) write.
+	if err := s.flush(); err != nil {
+		return err
+	}
+	lba := s.nextLBA
+	for _, op := range ops {
+		valLen := len(op.Value)
+		if op.Delete {
+			valLen = 0
+		}
+		n := recordSectors(len(op.Key), valLen)
+		buf := make([]byte, n*SectorSize)
+		encodeRecord(buf, op)
+		if err := s.dev.WriteSectors(lba, buf); err != nil {
+			return err
+		}
+		lba += uint64(n)
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	s.nextLBA = lba
+	for _, op := range ops {
+		if op.Delete {
+			delete(s.index, op.Key)
+		} else {
+			s.index[op.Key] = append([]byte{}, op.Value...)
+		}
+	}
+	return nil
+}
+
+// PutBatch group-commits a set of puts. It is Apply restricted to
+// non-tombstone ops.
+func (s *Store) PutBatch(ops []Op) error {
+	for _, op := range ops {
+		if op.Delete {
+			return errors.New("kv: PutBatch cannot carry tombstones, use Apply")
+		}
+	}
+	return s.Apply(ops)
 }
 
 // Put appends a record and updates the index. An empty (or nil) value is
@@ -130,44 +318,7 @@ func (s *Store) replay() error {
 // The new log terminator is written first so a crash between the two
 // writes leaves a valid log.
 func (s *Store) Put(key string, value []byte) error {
-	if err := s.append(key, value, false); err != nil {
-		return err
-	}
-	s.index[key] = append([]byte{}, value...)
-	return nil
-}
-
-// append writes one record (value or tombstone) with terminator-first
-// crash safety, advancing the log head.
-func (s *Store) append(key string, value []byte, dead bool) error {
-	if key == "" {
-		return errors.New("kv: empty key")
-	}
-	n := recordSectors(len(key), len(value))
-	if s.nextLBA+uint64(n) > s.maxLBA {
-		return errors.New("kv: store full")
-	}
-	// Terminator first, then the record: a torn sequence still replays.
-	if s.nextLBA+uint64(n) < s.maxLBA {
-		if err := Format(s.dev, s.nextLBA+uint64(n)); err != nil {
-			return err
-		}
-	}
-	buf := make([]byte, n*SectorSize)
-	binary.LittleEndian.PutUint32(buf[0:], magic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(key)))
-	if dead {
-		binary.LittleEndian.PutUint32(buf[8:], tombstoneLen)
-	} else {
-		binary.LittleEndian.PutUint32(buf[8:], uint32(len(value)))
-	}
-	copy(buf[12:], key)
-	copy(buf[12+len(key):], value)
-	if err := s.dev.WriteSectors(s.nextLBA, buf); err != nil {
-		return err
-	}
-	s.nextLBA += uint64(n)
-	return nil
+	return s.Apply([]Op{{Key: key, Value: value}})
 }
 
 // Get returns the current value of a key.
@@ -182,11 +333,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 // Delete writes a tombstone record and drops the key from the index.
 // Deleting an absent key still logs a tombstone (idempotent on replay).
 func (s *Store) Delete(key string) error {
-	if err := s.append(key, nil, true); err != nil {
-		return err
-	}
-	delete(s.index, key)
-	return nil
+	return s.Apply([]Op{{Key: key, Delete: true}})
 }
 
 // Len reports the number of live keys.

@@ -14,20 +14,45 @@ import (
 // storeLBA is where the kv log region starts on each tenant disk.
 const storeLBA = 8
 
+// stagedResp is one response held back until the batch's group commit
+// decides its final status.
+type stagedResp struct {
+	id     uint64
+	status uint32
+	val    []byte
+	muted  bool // true when the op rode the batch's kv.Apply
+}
+
+// overlayVal is the batch-local view of a key mutated earlier in the
+// same batch: gets must observe it (client sessions are FIFO, so a get
+// injected after a put of the same key expects the new value) even
+// though the store index is only updated at the group commit.
+type overlayVal struct {
+	val  []byte
+	dead bool
+}
+
 // guestMain is the tenant VM's kernel: it opens the kv store over the
 // protected block path (Kblk read from its own encrypted kernel image),
 // then serves ring batches until the front door posts the stop flag.
 //
 // The loop is a doorbell poll: kicking the doorbell port traps to the
 // host, which fills request frames *while the vCPU is parked in the
-// VMEXIT*; on resume the guest reads the batch, executes it against the
-// store, posts responses, and kicks the completion port so the host can
-// match latencies. An empty batch without the stop flag halts for a
-// quantum — burning simulated cycles, which is exactly how open-loop
-// arrivals become due.
+// VMEXIT*; on resume the guest reads the whole batch, stages every
+// put/delete into one kv group commit, answers gets against the staged
+// overlay (preserving per-client FIFO semantics), applies the commit,
+// posts all responses and kicks the completion port. An empty batch
+// without the stop flag halts for a quantum — burning simulated cycles,
+// which is exactly how open-loop arrivals become due.
+//
+// The block device is wrapped in a write coalescer, so the group
+// commit's record span reaches blkio.go as one sequential request: a
+// batch of N mutations costs two disk writes (terminator + span) and at
+// most two seeks, where the old per-op path paid 2N of each.
 func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 	kbase := t.kbase
 	sectors := s.cfg.StoreSectors
+	hub := s.hub()
 	return func(g *xen.GuestEnv) error {
 		bf, err := xen.NewBlockFrontend(g)
 		if err != nil {
@@ -37,10 +62,11 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 		if err := g.Read(kbase+core.KblkOffset, kblk[:]); err != nil {
 			return err
 		}
-		dev, err := core.NewAESNIFront(g, bf, kblk)
+		aes, err := core.NewAESNIFront(g, bf, kblk)
 		if err != nil {
 			return err
 		}
+		dev := kv.NewWriteCoalescer(aes, 0)
 		if err := kv.Format(dev, storeLBA); err != nil {
 			return err
 		}
@@ -49,14 +75,22 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 			return err
 		}
 
+		frames := int(g.Info.ServeFrames)
+		if frames <= 0 {
+			frames = LegacyRingFrames
+		}
 		reqGPA := g.Info.ServeGFN << hw.PageShift
-		respGPA := reqGPA + hw.PageSize
+		respGPA := reqGPA + uint64(ringPagesPerDir(frames))*hw.PageSize
 		doorbell := uint64(g.Info.ServePort)
 		completion := doorbell + 1
 
 		var sessionKey [32]byte
 		haveKey := false
 		var ctl, frame, out [SectorSize]byte
+		resps := make([]stagedResp, 0, frames)
+		muts := make([]kv.Op, 0, frames)
+		overlay := make(map[string]overlayVal, frames)
+		var pubStats kv.CoalesceStats // last published coalescer counters
 		served := 0
 		for {
 			if _, err := g.Hypercall(xen.HCEventChannelOp, xen.EvtOpSend, doorbell); err != nil {
@@ -69,7 +103,7 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 			if err != nil {
 				return err
 			}
-			if count > RingFrames {
+			if count > uint32(frames) {
 				return fmt.Errorf("serve: host posted %d requests", count)
 			}
 			if count == 0 {
@@ -79,6 +113,13 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 				g.Halt()
 				continue
 			}
+			// Pass 1: decode the batch, stage mutations, answer gets from
+			// the overlay-over-store view.
+			resps = resps[:0]
+			muts = muts[:0]
+			for k := range overlay {
+				delete(overlay, k)
+			}
 			for i := uint32(0); i < count; i++ {
 				if err := g.ReadUnencrypted(reqGPA+uint64((i+1)*SectorSize), frame[:]); err != nil {
 					return err
@@ -87,11 +128,57 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 				if err != nil {
 					return err
 				}
-				status, respVal := execOp(g, store, &sessionKey, &haveKey, op, key, val)
+				r := stagedResp{id: id, status: StatusError}
+				switch op {
+				case OpInstallKey:
+					if len(val) == 32 {
+						copy(sessionKey[:], val)
+						haveKey = true
+						r.status = StatusOK
+					}
+				case OpPut:
+					if haveKey {
+						chargeSessionCipher(g, len(val))
+						xorSession(sessionKey, key, val)
+						muts = append(muts, kv.Op{Key: key, Value: val})
+						overlay[key] = overlayVal{val: val}
+						r.status, r.muted = StatusOK, true
+					}
+				case OpDelete:
+					if haveKey {
+						muts = append(muts, kv.Op{Key: key, Delete: true})
+						overlay[key] = overlayVal{dead: true}
+						r.status, r.muted = StatusOK, true
+					}
+				case OpGet:
+					if haveKey {
+						r.status, r.val = execGet(g, store, overlay, sessionKey, key)
+					}
+				}
 				if op != OpInstallKey {
 					served++
 				}
-				if err := encodeResponse(out[:], id, status, respVal); err != nil {
+				resps = append(resps, r)
+			}
+			// Pass 2: one group commit for the whole batch. On failure the
+			// staged mutations (and only those) report errors — nothing
+			// was applied to the index.
+			if len(muts) > 0 {
+				if err := store.Apply(muts); err != nil {
+					for i := range resps {
+						if resps[i].muted {
+							resps[i].status = StatusError
+						}
+					}
+				}
+				st := dev.Stats()
+				hub.M.KVSeqWrites.Add(st.SeqWrites - pubStats.SeqWrites)
+				hub.M.KVGroupCommits.Add(st.GroupCommits - pubStats.GroupCommits)
+				pubStats = st
+			}
+			// Pass 3: post the responses.
+			for i, r := range resps {
+				if err := encodeResponse(out[:], r.id, r.status, r.val); err != nil {
 					return err
 				}
 				if err := g.WriteUnencrypted(respGPA+uint64((i+1)*SectorSize), out[:]); err != nil {
@@ -109,54 +196,30 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 	}
 }
 
-// execOp runs one request against the store. Values cross the
-// (hypervisor-visible) ring encrypted under the session key: puts arrive
-// as ciphertext and are decrypted here, get responses are encrypted
-// before they leave guest memory. The session-cipher work is charged at
-// AES-NI hardware cost, like the disk path's.
-func execOp(g *xen.GuestEnv, store *kv.Store, sessionKey *[32]byte, haveKey *bool, op uint32, key string, val []byte) (uint32, []byte) {
-	switch op {
-	case OpInstallKey:
-		if len(val) != 32 {
-			return StatusError, nil
+// execGet answers one get against the batch overlay first, then the
+// store. Values cross the (hypervisor-visible) ring encrypted under the
+// session key; the session-cipher work is charged at AES-NI hardware
+// cost, like the disk path's.
+func execGet(g *xen.GuestEnv, store *kv.Store, overlay map[string]overlayVal, sessionKey [32]byte, key string) (uint32, []byte) {
+	var v []byte
+	if o, ok := overlay[key]; ok {
+		if o.dead {
+			return StatusNotFound, nil
 		}
-		copy(sessionKey[:], val)
-		*haveKey = true
-		return StatusOK, nil
-	case OpPut:
-		if !*haveKey {
-			return StatusError, nil
-		}
-		chargeSessionCipher(g, len(val))
-		xorSession(*sessionKey, key, val)
-		if err := store.Put(key, val); err != nil {
-			return StatusError, nil
-		}
-		return StatusOK, nil
-	case OpGet:
-		if !*haveKey {
-			return StatusError, nil
-		}
-		v, err := store.Get(key)
+		v = append([]byte{}, o.val...)
+	} else {
+		got, err := store.Get(key)
 		if errors.Is(err, kv.ErrNotFound) {
 			return StatusNotFound, nil
 		}
 		if err != nil {
 			return StatusError, nil
 		}
-		chargeSessionCipher(g, len(v))
-		xorSession(*sessionKey, key, v)
-		return StatusOK, v
-	case OpDelete:
-		if !*haveKey {
-			return StatusError, nil
-		}
-		if err := store.Delete(key); err != nil {
-			return StatusError, nil
-		}
-		return StatusOK, nil
+		v = got
 	}
-	return StatusError, nil
+	chargeSessionCipher(g, len(v))
+	xorSession(sessionKey, key, v)
+	return StatusOK, v
 }
 
 // chargeSessionCipher accounts the session-key crypto on the cycle clock.

@@ -3,14 +3,25 @@ package serve
 import (
 	"encoding/binary"
 	"fmt"
+
+	"fidelius/internal/hw"
 )
 
 // The serve ring is the request/response channel between the (untrusted,
-// host-side) client front door and the tenant guest. It is two shared
-// unencrypted pages directly after the PV block data pages:
+// host-side) client front door and the tenant guest: shared unencrypted
+// pages directly after the PV block data pages, split evenly into a
+// request direction followed by a response direction. Each direction is
+// a run of contiguous guest frames whose sector 0 is the control sector
+// and whose sectors 1..frames are op frames:
 //
-//	page 0 (requests):  sector 0 = control, sectors 1..7 = request frames
-//	page 1 (responses): sector 0 = control, sectors 1..7 = response frames
+//	request pages:  sector 0 = control, sectors 1..frames = request frames
+//	response pages: sector 0 = control, sectors 1..frames = response frames
+//
+// The frame count is configurable (Config.RingFrames, published to the
+// guest via StartInfo.ServeFrames) so the front door can pipeline deep
+// batches per doorbell: with the default 15 frames a put-heavy batch
+// amortizes one VMEXIT round trip and one kv group commit over twice the
+// ops the original 7-frame ring could carry.
 //
 // Framing is sector-granular like the block protocol: one op per 512-byte
 // sector, so a frame never straddles a cache line boundary the host and
@@ -32,12 +43,31 @@ import (
 // SectorSize is the ring framing granularity.
 const SectorSize = 512
 
-// RingFrames is the per-direction frame capacity (sectors 1..7 of each
-// ring page; sector 0 is the control sector).
-const RingFrames = 7
+// sectorsPerPage is the ring slots (control + frames) one page carries.
+const sectorsPerPage = hw.PageSize / SectorSize
 
-// RingPages is the size of the serve ring in pages (requests + responses).
-const RingPages = 2
+// DefaultRingFrames is the per-direction frame capacity when the config
+// does not say otherwise: two pages per direction (1 control sector + 15
+// frames), double the original single-page ring.
+const DefaultRingFrames = 15
+
+// LegacyRingFrames is the frame count guests assume when their start
+// info predates the ServeFrames field (ServeFrames == 0).
+const LegacyRingFrames = 7
+
+// ringPagesPerDir returns the pages one ring direction occupies: the
+// control sector plus one sector per frame, rounded up to whole pages.
+func ringPagesPerDir(frames int) int {
+	return (frames + 1 + sectorsPerPage - 1) / sectorsPerPage
+}
+
+// framePA resolves ring slot `slot` (0 = control sector, 1..frames = op
+// frames) within one direction's shared pages. The pages are contiguous
+// in guest-physical space but not in host-physical space, hence the
+// per-page table.
+func framePA(pas []hw.PhysAddr, slot uint32) hw.PhysAddr {
+	return pas[slot/sectorsPerPage] + hw.PhysAddr(slot%sectorsPerPage)*SectorSize
+}
 
 const ringMagic = 0x5EF1DE10
 

@@ -76,6 +76,10 @@ type Config struct {
 	StoreSectors int
 	// DiskSectors sizes each tenant's disk (default 512).
 	DiskSectors int
+	// RingFrames is the serve-ring depth per direction (default
+	// DefaultRingFrames). Deeper rings pipeline more ops per doorbell
+	// VMEXIT and feed larger kv group commits.
+	RingFrames int
 	// Parallel schedules tenants with ScheduleParallel at Width slots.
 	Parallel bool
 	Width    int
@@ -127,6 +131,9 @@ func (c Config) withDefaults() Config {
 	if c.DiskSectors <= 0 {
 		c.DiskSectors = 512
 	}
+	if c.RingFrames <= 0 {
+		c.RingFrames = DefaultRingFrames
+	}
 	return c
 }
 
@@ -148,8 +155,9 @@ type tenant struct {
 	rejected      bool
 	dataKey       [32]byte
 
-	// Ring plumbing.
-	reqPA, respPA hw.PhysAddr
+	// Ring plumbing: per-direction shared pages and the frame depth.
+	reqPAs, respPAs []hw.PhysAddr
+	frames          int
 
 	// Injection / completion state (handler-owned).
 	gen      *loadGen
@@ -241,16 +249,20 @@ func New(f *core.Fidelius, cfg Config) (*Service, error) {
 		}
 		// The serve ring rides directly after the block data pages; its
 		// sharing must be pre-declared to the gatekeeper like any other.
-		if err := f.PreShare(d.ID, xen.Dom0, serveGFN, RingPages, 0); err != nil {
+		t.frames = cfg.RingFrames
+		pagesPerDir := ringPagesPerDir(t.frames)
+		ringPages := 2 * pagesPerDir
+		if err := f.PreShare(d.ID, xen.Dom0, serveGFN, uint64(ringPages), 0); err != nil {
 			return nil, err
 		}
-		pas, err := s.X.SharePages(d, serveGFN, RingPages)
+		pas, err := s.X.SharePages(d, serveGFN, ringPages)
 		if err != nil {
 			return nil, err
 		}
-		t.reqPA, t.respPA = pas[0], pas[1]
+		t.reqPAs, t.respPAs = pas[:pagesPerDir], pas[pagesPerDir:]
 		d.Info.ServeGFN = serveGFN
 		d.Info.ServePort = DoorbellPort
+		d.Info.ServeFrames = uint64(t.frames)
 		// Both devices are attached; publish the write-once start info.
 		if err := s.X.WriteStartInfo(d); err != nil {
 			return nil, err
@@ -339,7 +351,7 @@ func (s *Service) fillHandler(t *tenant) func() error {
 			if err := encodeRequest(frame[:], 0, OpInstallKey, "", t.dataKey[:]); err != nil {
 				return err
 			}
-			if err := s.writePA(t.reqPA+hw.PhysAddr((n+1)*SectorSize), frame[:]); err != nil {
+			if err := s.writePA(framePA(t.reqPAs, n+1), frame[:]); err != nil {
 				return err
 			}
 			t.pending[0] = &genOp{kind: OpInstallKey, arrival: now}
@@ -347,7 +359,7 @@ func (s *Service) fillHandler(t *tenant) func() error {
 			n++
 		}
 		if t.keySent {
-			for n < RingFrames {
+			for n < uint32(t.frames) {
 				op := t.gen.nextDue(now)
 				if op == nil {
 					break
@@ -365,7 +377,7 @@ func (s *Service) fillHandler(t *tenant) func() error {
 				if err := encodeRequest(frame[:], id, op.kind, op.key, payload); err != nil {
 					return err
 				}
-				if err := s.writePA(t.reqPA+hw.PhysAddr((n+1)*SectorSize), frame[:]); err != nil {
+				if err := s.writePA(framePA(t.reqPAs, n+1), frame[:]); err != nil {
 					return err
 				}
 				t.pending[id] = op
@@ -382,7 +394,7 @@ func (s *Service) fillHandler(t *tenant) func() error {
 		}
 		var ctl [SectorSize]byte
 		encodeReqCtl(ctl[:], n, flags)
-		return s.writePA(t.reqPA, ctl[:])
+		return s.writePA(framePA(t.reqPAs, 0), ctl[:])
 	}
 }
 
@@ -395,20 +407,20 @@ func (s *Service) drainHandler(t *tenant) func() error {
 	return func() error {
 		hub := s.hub()
 		var ctl [SectorSize]byte
-		if err := s.readPA(t.respPA, ctl[:]); err != nil {
+		if err := s.readPA(framePA(t.respPAs, 0), ctl[:]); err != nil {
 			return err
 		}
 		count, err := decodeRespCtl(ctl[:])
 		if err != nil {
 			return err
 		}
-		if count > RingFrames {
+		if count > uint32(t.frames) {
 			return fmt.Errorf("serve: guest posted %d responses", count)
 		}
 		now := hub.Now()
 		var frame [SectorSize]byte
 		for i := uint32(0); i < count; i++ {
-			if err := s.readPA(t.respPA+hw.PhysAddr((i+1)*SectorSize), frame[:]); err != nil {
+			if err := s.readPA(framePA(t.respPAs, i+1), frame[:]); err != nil {
 				return err
 			}
 			id, status, val, err := decodeResponse(frame[:])
@@ -462,7 +474,7 @@ func (s *Service) drainHandler(t *tenant) func() error {
 		}
 		// Zero the count so a duplicate kick cannot double-account.
 		encodeRespCtl(ctl[:], 0)
-		return s.writePA(t.respPA, ctl[:])
+		return s.writePA(framePA(t.respPAs, 0), ctl[:])
 	}
 }
 

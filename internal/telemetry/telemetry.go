@@ -175,6 +175,10 @@ type Metrics struct {
 	ServeOps            *Counter // serve.ops: completed serve requests
 	ServeTimeouts       *Counter // serve.timeouts: responses past their deadline
 	ServeRejects        *Counter // serve.rejects: sessions denied at admission
+	DiskSeekReads       *Counter // xen.disk_seeks{kind=read}: non-sequential read LBAs
+	DiskSeekWrites      *Counter // xen.disk_seeks{kind=write}: non-sequential write LBAs
+	KVSeqWrites         *Counter // kv.seq_writes: store writes coalesced onto a pending span
+	KVGroupCommits      *Counter // kv.group_commits: multi-write spans flushed as one request
 
 	ExitCycles    *Histogram // vmexit.cycles: per-quantum round-trip cost
 	BlkReqSectors *Histogram // blk.request_sectors: request size distribution
@@ -206,6 +210,10 @@ func newMetrics(r *Registry) Metrics {
 		ServeOps:       r.Counter("serve.ops"),
 		ServeTimeouts:  r.Counter("serve.timeouts"),
 		ServeRejects:   r.Counter("serve.rejects"),
+		DiskSeekReads:  r.Counter("xen.disk_seeks", "kind", "read"),
+		DiskSeekWrites: r.Counter("xen.disk_seeks", "kind", "write"),
+		KVSeqWrites:    r.Counter("kv.seq_writes"),
+		KVGroupCommits: r.Counter("kv.group_commits"),
 		ExitCycles:     r.Histogram("vmexit.cycles", CycleBuckets),
 		BlkReqSectors:  r.Histogram("blk.request_sectors", []uint64{1, 2, 4, 8, 16, 32, 64, 128}),
 		ServeLatency:   r.Histogram("serve.latency", ServeLatencyBuckets),

@@ -217,16 +217,20 @@ func (b *BlockBackend) handleKick() error {
 			count*cycles.DiskSectorAccess, lba, count, dir)
 	}
 	// Seek model: non-sequential requests pay head movement (reads) or a
-	// smaller write-cache penalty (writes).
+	// smaller write-cache penalty (writes). The xen.disk_seeks counters
+	// are the per-kind seek totals benchtab and fideliustop divide by
+	// serve.ops to show seeks-per-op.
 	switch op {
 	case BlkOpRead:
 		if lba != b.nextRead {
 			b.x.M.Ctl.Cycles.Charge(cycles.DiskSeekRead)
+			tel.M.DiskSeekReads.Inc()
 		}
 		b.nextRead = lba + count
 	case BlkOpWrite:
 		if lba != b.nextWrite {
 			b.x.M.Ctl.Cycles.Charge(cycles.DiskSeekWrite)
+			tel.M.DiskSeekWrites.Inc()
 		}
 		b.nextWrite = lba + count
 	}

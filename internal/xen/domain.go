@@ -18,19 +18,20 @@ type DomID uint16
 const Dom0 DomID = 0
 
 // StartInfoSize is the size of the marshalled start-info record.
-const StartInfoSize = 64
+const StartInfoSize = 72
 
 // StartInfo is the boot-parameter page written once during domain build —
 // the target of the paper's write-once policy (Section 5.3).
 type StartInfo struct {
-	DomID     DomID
-	MemPages  uint64
-	RingGFN   uint64 // PV block ring page (guest frame number)
-	DataGFN   uint64 // first PV block data page
-	DataLen   uint64 // number of data pages
-	Port      uint32 // event channel port for block I/O
-	ServeGFN  uint64 // first serve-ring page (0 = no serving device)
-	ServePort uint32 // event channel doorbell port for the serve ring
+	DomID       DomID
+	MemPages    uint64
+	RingGFN     uint64 // PV block ring page (guest frame number)
+	DataGFN     uint64 // first PV block data page
+	DataLen     uint64 // number of data pages
+	Port        uint32 // event channel port for block I/O
+	ServeGFN    uint64 // first serve-ring page (0 = no serving device)
+	ServePort   uint32 // event channel doorbell port for the serve ring
+	ServeFrames uint64 // serve-ring frames per direction (0 = legacy 7)
 }
 
 // Marshal encodes the start info.
@@ -49,6 +50,7 @@ func (si *StartInfo) Marshal() []byte {
 	put(40, uint64(si.Port))
 	put(48, si.ServeGFN)
 	put(56, uint64(si.ServePort))
+	put(64, si.ServeFrames)
 	return b
 }
 
@@ -65,14 +67,15 @@ func UnmarshalStartInfo(b []byte) (*StartInfo, error) {
 		return v
 	}
 	return &StartInfo{
-		DomID:     DomID(get(0)),
-		MemPages:  get(8),
-		RingGFN:   get(16),
-		DataGFN:   get(24),
-		DataLen:   get(32),
-		Port:      uint32(get(40)),
-		ServeGFN:  get(48),
-		ServePort: uint32(get(56)),
+		DomID:       DomID(get(0)),
+		MemPages:    get(8),
+		RingGFN:     get(16),
+		DataGFN:     get(24),
+		DataLen:     get(32),
+		Port:        uint32(get(40)),
+		ServeGFN:    get(48),
+		ServePort:   uint32(get(56)),
+		ServeFrames: get(64),
 	}, nil
 }
 
