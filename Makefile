@@ -53,7 +53,7 @@ migrate:
 # diffing. -count=3 lets benchjson take the per-metric median, so one
 # wall-clock outlier on a busy container cannot poison the artifact.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -count=3 . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_9.json
+	$(GO) test -run '^$$' -bench=. -benchmem -count=3 . 2>&1 | $(GO) run ./cmd/benchjson -o BENCH_10.json
 
 # One-iteration pass over every benchmark: catches bit-rot in the
 # benchmark harness without paying for a full measurement run.
@@ -66,8 +66,8 @@ benchsmoke:
 # wall-clock ns/op gets a looser threshold because goroutine-heavy
 # benchmarks on the shared 1-CPU container swing ±15% run-to-run even
 # under the median-of-3 capture.
-BENCH_OLD ?= BENCH_8.json
-BENCH_NEW ?= BENCH_9.json
+BENCH_OLD ?= BENCH_9.json
+BENCH_NEW ?= BENCH_10.json
 BENCH_THRESHOLD ?= 10
 BENCH_WALL_THRESHOLD ?= 20
 benchdiff:
@@ -103,12 +103,22 @@ demo:
 serve:
 	$(GO) run ./cmd/fidelius-serve
 
-# Serving smoke gate: a short put-heavy run at the *old* seek-bound
-# knee's offered rate (~1.4 ops/Mcycle fleet = 0.35/tenant x 4). Before
-# group commit this rate saturated the put path; with it the run must
-# finish with zero SLO burn and zero deadline misses, or the gate fails.
+# Serving smoke gates, in escalating order:
+#  1. put-heavy at the *old* seek-bound knee (~1.4 ops/Mcycle fleet =
+#     0.35/tenant x 4): group commit must cruise here.
+#  2. put-heavy at the *new* knee (1.6/tenant x 4 = 6.4 fleet): the
+#     adaptive-depth hold policy must keep the p50 objective passing.
+#  3. get-heavy (93% gets over a hot working set): the guest read cache
+#     path must hold its SLOs while serving repeated reads.
+#  4. the long-lived tenant: one tenant overwrites its store region
+#     several times; online compaction must keep it serving (at least
+#     one compaction, zero errored or mismatched ops).
+# Each gate exits nonzero on failure.
 serve-smoke:
 	$(GO) run ./cmd/fidelius-serve -tenants 4 -clients 16 -rate 0.35 -duration 60 -putfrac 0.7 -delfrac 0.1 -smoke
+	$(GO) run ./cmd/fidelius-serve -tenants 4 -clients 16 -ops 2 -rate 1.6 -putfrac 0.7 -delfrac 0.1 -smoke
+	$(GO) run ./cmd/fidelius-serve -tenants 4 -clients 8 -ops 8 -rate 1.0 -getfrac 0.93 -smoke
+	$(GO) run ./cmd/fidelius-serve -compact-smoke
 
 trace:
 	$(GO) run ./cmd/fidelius-demo -trace fidelius-trace.json -metrics

@@ -647,6 +647,199 @@ func BenchmarkServePutHeavyKnee(b *testing.B) {
 	b.ReportMetric(p99, "p99-cycles")
 }
 
+// BenchmarkServePutHeavySLO runs the put-heavy mix at offered 1.6
+// ops/Mcycle per tenant — the exact knee BENCH_9 left FAILing its p50
+// objective — so the adaptive-depth hold policy's win is a gated number:
+// p50-cycles must stay under the 8.4M serve-p50 objective and holds must
+// be nonzero (the policy actually engaged, not just the rate being low).
+func BenchmarkServePutHeavySLO(b *testing.B) {
+	var p50, throughput, holds float64
+	for i := 0; i < b.N; i++ {
+		plat, err := NewPlatform(Config{Protected: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := plat.NewServeService(ServeConfig{
+			Tenants:          4,
+			ClientsPerTenant: 16,
+			OpsPerClient:     2,
+			RatePerMCycle:    1.6,
+			PutFrac:          0.7,
+			DelFrac:          0.1,
+			Seed:             7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for dom, err := range svc.Run() {
+			if err != nil {
+				b.Fatalf("domain %d: %v", dom, err)
+			}
+		}
+		var ops uint64
+		for _, r := range svc.Reports() {
+			ops += r.Ops
+		}
+		if el := svc.Elapsed(); el > 0 {
+			throughput = float64(ops) / (float64(el) / 1e6)
+		}
+		snap := plat.Metrics()
+		if h, ok := snap.Histograms["serve.latency"]; ok {
+			p50 = h.Quantile(0.50)
+		}
+		holds = float64(snap.Counters["serve.holds"])
+		if err := svc.Shutdown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p50, "p50-cycles")
+	b.ReportMetric(throughput, "ops/Mcycle")
+	b.ReportMetric(holds, "holds")
+}
+
+// BenchmarkServeGetHeavy drives the read-dominated mix (93% gets over a
+// hot 3-key-per-client working set) with the guest read cache enabled and
+// disabled. The cached run's hit-% is the headline: every hit skips the
+// store-index copy and the session-cipher recharge, which is also where
+// the wall-clock ns/op difference between the two sub-benchmarks comes
+// from.
+func BenchmarkServeGetHeavy(b *testing.B) {
+	for _, cache := range []struct {
+		name    string
+		entries int
+	}{{"cache=on", 0}, {"cache=off", -1}} {
+		b.Run(cache.name, func(b *testing.B) {
+			var hitPct, p50, throughput float64
+			for i := 0; i < b.N; i++ {
+				plat, err := NewPlatform(Config{Protected: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				svc, err := plat.NewServeService(ServeConfig{
+					Tenants:          4,
+					ClientsPerTenant: 8,
+					OpsPerClient:     8,
+					RatePerMCycle:    1.0,
+					PutFrac:          0.05,
+					DelFrac:          0.02,
+					KeySpace:         3,
+					ReadCacheEntries: cache.entries,
+					Seed:             7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for dom, err := range svc.Run() {
+					if err != nil {
+						b.Fatalf("domain %d: %v", dom, err)
+					}
+				}
+				var ops uint64
+				for _, r := range svc.Reports() {
+					ops += r.Ops
+				}
+				if el := svc.Elapsed(); el > 0 {
+					throughput = float64(ops) / (float64(el) / 1e6)
+				}
+				snap := plat.Metrics()
+				hits := snap.Counters["kv.cache_hits"]
+				misses := snap.Counters["kv.cache_misses"]
+				if hits+misses > 0 {
+					hitPct = 100 * float64(hits) / float64(hits+misses)
+				}
+				if h, ok := snap.Histograms["serve.latency"]; ok {
+					p50 = h.Quantile(0.50)
+				}
+				if err := svc.Shutdown(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(hitPct, "hit-%")
+			b.ReportMetric(p50, "p50-cycles")
+			b.ReportMetric(throughput, "ops/Mcycle")
+		})
+	}
+}
+
+// BenchmarkKVCompact measures online log compaction through the full
+// protected block stack: a store is churned until half its log is dead
+// records, then compacted. compact-cycles is one full live-set rewrite
+// plus the superblock flip; reclaimed-sectors is what the rewrite bought.
+func BenchmarkKVCompact(b *testing.B) {
+	plat, err := NewPlatform(Config{Protected: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner, err := NewOwner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle, _, err := PrepareGuest(owner, plat.PlatformKey(), make([]byte, PageSize), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm, err := plat.LaunchVM("kv-compact", 64, bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := plat.AttachDisk(vm, NewDisk(512), 2, 1, nil); err != nil {
+		b.Fatal(err)
+	}
+	hub := plat.Telemetry()
+	var spent, reclaimed, rounds uint64
+	plat.StartVCPU(vm, func(g *GuestEnv) error {
+		bf, err := NewBlockFrontend(g)
+		if err != nil {
+			return err
+		}
+		var kblk [32]byte
+		kbase := plat.KernelBase(vm, bundle) * PageSize
+		if err := g.Read(kbase+KblkOffset, kblk[:]); err != nil {
+			return err
+		}
+		aes, err := NewAESNIFront(g, bf, kblk)
+		if err != nil {
+			return err
+		}
+		dev := kv.NewWriteCoalescer(aes, 0)
+		val := make([]byte, 48)
+		for i := 0; i < b.N; i++ {
+			if err := kv.FormatCompactable(dev, 8, 257); err != nil {
+				return err
+			}
+			store, err := kv.Open(dev, 8, 257)
+			if err != nil {
+				return err
+			}
+			// Churn: 16 keys overwritten 6 times each fills the half with
+			// ~83% garbage.
+			for round := 0; round < 6; round++ {
+				ops := make([]kv.Op, 16)
+				for d := range ops {
+					ops[d] = kv.Op{Key: fmt.Sprintf("key-%02d", d), Value: val}
+				}
+				if err := store.Apply(ops); err != nil {
+					return err
+				}
+			}
+			before := store.UsedSectors()
+			start := hub.Now()
+			if err := store.Compact(); err != nil {
+				return err
+			}
+			spent += hub.Now() - start
+			reclaimed += before - store.UsedSectors()
+			rounds++
+		}
+		return nil
+	})
+	if err := plat.Run(vm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(spent)/float64(rounds), "compact-cycles")
+	b.ReportMetric(float64(reclaimed)/float64(rounds), "reclaimed-sectors")
+}
+
 // BenchmarkMigrationRound measures one full live migration of a protected
 // 64-page VM between two platforms, pre-copy rounds included; the batched
 // SEND_UPDATE path carries every round's pages.

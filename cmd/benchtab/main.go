@@ -138,14 +138,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.FormatServeSweep("open-loop offered-rate sweep, default mix", rows))
+		fmt.Println(bench.FormatServeSweep("open-loop offered-rate sweep, default mix (4 tenants x 16 clients)", rows))
 		writeCSV("serve.csv", func(f *os.File) error { return bench.WriteServeCSV(f, rows) })
 		ph, err := bench.ServePutHeavySweep(nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.FormatServeSweep("put-heavy mix (70% put / 10% delete)", ph))
+		fmt.Println(bench.FormatServeSweep("put-heavy mix, 70% put / 10% delete (4 tenants x 16 clients)", ph))
 		writeCSV("serve_putheavy.csv", func(f *os.File) error { return bench.WriteServeCSV(f, ph) })
+		gh, err := bench.ServeGetHeavySweep(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatServeSweep("get-heavy mix, 93% get over a hot working set (4 tenants x 8 clients)", gh))
+		writeCSV("serve_getheavy.csv", func(f *os.File) error { return bench.WriteServeCSV(f, gh) })
 	}
 	if all || *ablation {
 		ga, err := bench.MeasureGateAblation(200)

@@ -17,17 +17,24 @@
 //
 //	fidelius-serve [-tenants N] [-clients N] [-ops N] [-rate R]
 //	               [-parallel] [-width N] [-tamper N] [-duration M]
-//	               [-json] [-trace out.json]
+//	               [-getfrac G] [-compact-smoke] [-json] [-trace out.json]
 //
 // -rate is each tenant's offered load in operations per million cycles.
 // -duration M resizes the workload so arrivals span roughly M million
 // cycles (the smoke-test knob). -putfrac/-delfrac override the op mix.
-// -smoke turns the run into a pass/fail gate: exit nonzero if any
-// evaluated SLO burns its budget or any op misses its deadline — CI runs
-// this at the old seek-bound knee's offered rate, where the group-commit
-// put path must now cruise. -json dumps the per-tenant reports as JSON;
-// -trace captures the run (serve-request spans included) as a Chrome
-// trace_event timeline.
+// -getfrac G selects the read-dominated profile instead: G of the ops
+// are gets over a hot 3-key-per-client working set (the rest split
+// put-heavy 5:2), which is the shape that exercises the guest read
+// cache. -smoke turns the run into a pass/fail gate: exit nonzero if
+// any evaluated SLO burns its budget or any op misses its deadline — CI
+// runs this at the old seek-bound knee's offered rate, where the
+// group-commit put path must now cruise. -compact-smoke replaces the
+// scenario with the long-lived-tenant gate: one tenant whose write
+// volume overwrites its store region several times, passing only if
+// online compaction kept it alive (at least one compaction, zero
+// errored or mismatched ops). -json dumps the per-tenant reports as
+// JSON; -trace captures the run (serve-request spans included) as a
+// Chrome trace_event timeline.
 package main
 
 import (
@@ -52,7 +59,9 @@ func main() {
 	duration := flag.Float64("duration", 0, "resize the workload so arrivals span ~this many million cycles (0 = use -ops)")
 	putFrac := flag.Float64("putfrac", 0, "fraction of ops that are puts (0 = package default mix)")
 	delFrac := flag.Float64("delfrac", 0, "fraction of ops that are deletes (0 = package default mix)")
+	getFrac := flag.Float64("getfrac", 0, "get-heavy profile: this fraction of ops are gets over a hot keyspace (overrides -putfrac/-delfrac)")
 	smoke := flag.Bool("smoke", false, "gate mode: exit nonzero on any SLO burn or deadline miss")
+	compactSmoke := flag.Bool("compact-smoke", false, "long-lived-tenant gate: overwrite the store region several times; exit nonzero unless compaction kept the tenant alive")
 	jsonOut := flag.Bool("json", false, "dump per-tenant reports as JSON")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
@@ -76,6 +85,18 @@ func main() {
 		Parallel:         *parallel,
 		Width:            *width,
 	}
+	if *getFrac > 0 {
+		g := *getFrac
+		if g > 1 {
+			g = 1
+		}
+		// Split the non-get remainder put-heavy (5:2, like the bench
+		// sweep's get-heavy profile) and shrink the keyspace so repeated
+		// gets actually revisit keys — the cache-friendly shape.
+		cfg.PutFrac = (1 - g) * 5 / 7
+		cfg.DelFrac = (1 - g) * 2 / 7
+		cfg.KeySpace = 3
+	}
 	if *duration > 0 {
 		// Fit the arrival window: rate ops/Mcycle/tenant for M Mcycles.
 		total := int(*rate * *duration)
@@ -83,6 +104,22 @@ func main() {
 		if cfg.OpsPerClient < 1 {
 			cfg.OpsPerClient = 1
 		}
+	}
+	if *compactSmoke {
+		// The long-lived-tenant shape: 8 clients churn a 4-key-per-client
+		// working set with 90% puts into a 128-sector region — several
+		// times the region's capacity, so the run only completes cleanly
+		// if online compaction keeps reclaiming the overwritten records.
+		cfg.Tenants = 1
+		cfg.ClientsPerTenant = 8
+		cfg.OpsPerClient = 64
+		cfg.RatePerMCycle = 2.0
+		cfg.PutFrac = 0.9
+		cfg.DelFrac = 0.05
+		cfg.KeySpace = 4
+		cfg.StoreSectors = 128
+		cfg.Seed = 5
+		cfg.TamperTenants = nil
 	}
 	for i := 0; i < *tamper && i < *tenants; i++ {
 		cfg.TamperTenants = append(cfg.TamperTenants, *tenants-1-i)
@@ -127,6 +164,15 @@ func main() {
 		if err := fidelius.WriteServeReportTable(os.Stdout, reports); err != nil {
 			log.Fatal(err)
 		}
+		snap := plat.Metrics()
+		hits, misses := snap.Counters["kv.cache_hits"], snap.Counters["kv.cache_misses"]
+		hitPct := 0.0
+		if hits+misses > 0 {
+			hitPct = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("kv: %d compactions reclaimed %d sectors; read cache %.1f%% hits (%d/%d); %d doorbell holds\n",
+			snap.Counters["kv.compactions"], snap.Counters["kv.compact_reclaimed"],
+			hitPct, hits, hits+misses, snap.Counters["serve.holds"])
 		fmt.Println()
 		fmt.Println("serving service-level objectives:")
 		if err := telemetry.WriteSLOTable(os.Stdout, svc.EvaluateSLOs()); err != nil {
@@ -180,6 +226,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("smoke: all evaluated SLOs within budget, zero deadline misses")
+	}
+	if *compactSmoke {
+		snap := plat.Metrics()
+		var totalOps, mismatches, errs uint64
+		for _, r := range reports {
+			totalOps += r.Ops
+			mismatches += r.Mismatches
+			errs += r.Errors
+		}
+		compactions := snap.Counters["kv.compactions"]
+		fail := false
+		if compactions == 0 {
+			fmt.Fprintln(os.Stderr, "compact-smoke: the run never compacted — the scenario did not exercise reclamation")
+			fail = true
+		}
+		if errs > 0 || mismatches > 0 {
+			fmt.Fprintf(os.Stderr, "compact-smoke: %d errored and %d mismatched ops — compaction did not keep the store serving\n", errs, mismatches)
+			fail = true
+		}
+		if fail {
+			os.Exit(1)
+		}
+		fmt.Printf("compact-smoke: %d compactions reclaimed %d sectors; %d ops served with zero errors\n",
+			compactions, snap.Counters["kv.compact_reclaimed"], totalOps)
 	}
 	if err := svc.Shutdown(); err != nil {
 		log.Fatal(err)

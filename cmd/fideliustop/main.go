@@ -198,6 +198,15 @@ func main() {
 			fmt.Printf("disk: %d seeks (%d read, %d write), %.2f seeks/op; kv: %d seq writes, %d group commits\n",
 				seekR+seekW, seekR, seekW, seeksPerOp,
 				snap.Counters["kv.seq_writes"], snap.Counters["kv.group_commits"])
+			hits, misses := snap.Counters["kv.cache_hits"], snap.Counters["kv.cache_misses"]
+			hitPct := 0.0
+			if hits+misses > 0 {
+				hitPct = 100 * float64(hits) / float64(hits+misses)
+			}
+			fmt.Printf("cache: %.1f%% hits (%d/%d); compaction: %d runs, %d sectors reclaimed; ring: %d doorbell holds\n",
+				hitPct, hits, hits+misses,
+				snap.Counters["kv.compactions"], snap.Counters["kv.compact_reclaimed"],
+				snap.Counters["serve.holds"])
 			fmt.Println()
 		}
 		recs := plat.AuditRecords()

@@ -31,8 +31,14 @@ type ServeRow struct {
 	Timeouts   uint64  // ops past their deadline
 	Seeks      uint64  // non-sequential disk requests, fleet total
 	SeeksPerOp float64 // seeks / completed ops
-	P50Pass    bool    // stock serve-p50 objective verdict
-	P99Pass    bool
+	// CacheHitPct is the guest read cache's hit rate across the fleet,
+	// as a percentage of store lookups (overlay answers excluded).
+	CacheHitPct float64
+	// Holds counts doorbells the fill handler answered empty to let
+	// arrivals accumulate into a deeper group commit.
+	Holds   uint64
+	P50Pass bool // stock serve-p50 objective verdict
+	P99Pass bool
 }
 
 // serveSweepConfig is the per-rate scenario shape (small enough that the
@@ -50,6 +56,22 @@ func serveSweepConfig(rate, putFrac, delFrac float64) serve.Config {
 	}
 }
 
+// getHeavySweepConfig is the read-dominated shape: a hot 3-key-per-client
+// working set and a 93% get mix, so repeated reads land in the guest's
+// read cache (a larger per-client op count gives reuse a chance to show).
+func getHeavySweepConfig(rate float64) serve.Config {
+	return serve.Config{
+		Tenants:          4,
+		ClientsPerTenant: 8,
+		OpsPerClient:     8,
+		RatePerMCycle:    rate,
+		PutFrac:          0.05,
+		DelFrac:          0.02,
+		KeySpace:         3,
+		Seed:             7,
+	}
+}
+
 // defaultSweepRates covers well below the old seek-bound knee
 // (~1.4 ops/Mcycle fleet) up past the group-commit knee, so before/after
 // comparisons land on the same offered points.
@@ -58,16 +80,27 @@ var defaultSweepRates = []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2}
 // ServeSweep runs the serving scenario once per offered rate, each on a
 // fresh protected platform, with the package-default op mix.
 func ServeSweep(rates []float64) ([]ServeRow, error) {
-	return sweepMix(rates, 0, 0)
+	return sweepShape(rates, func(rate float64) serve.Config {
+		return serveSweepConfig(rate, 0, 0)
+	})
 }
 
 // ServePutHeavySweep is ServeSweep on a mutation-dominated mix (70% put,
 // 10% delete) — the workload whose knee the kv group commit moves.
 func ServePutHeavySweep(rates []float64) ([]ServeRow, error) {
-	return sweepMix(rates, 0.7, 0.1)
+	return sweepShape(rates, func(rate float64) serve.Config {
+		return serveSweepConfig(rate, 0.7, 0.1)
+	})
 }
 
-func sweepMix(rates []float64, putFrac, delFrac float64) ([]ServeRow, error) {
+// ServeGetHeavySweep is the read-dominated counterpart: a hot working
+// set driven at 93% gets, where the guest read cache's hit rate (the
+// hit% column) is the number to watch.
+func ServeGetHeavySweep(rates []float64) ([]ServeRow, error) {
+	return sweepShape(rates, getHeavySweepConfig)
+}
+
+func sweepShape(rates []float64, shape func(rate float64) serve.Config) ([]ServeRow, error) {
 	if len(rates) == 0 {
 		rates = defaultSweepRates
 	}
@@ -85,7 +118,7 @@ func sweepMix(rates []float64, putFrac, delFrac float64) ([]ServeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		svc, err := serve.New(f, serveSweepConfig(rate, putFrac, delFrac))
+		svc, err := serve.New(f, shape(rate))
 		if err != nil {
 			return nil, err
 		}
@@ -107,6 +140,10 @@ func sweepMix(rates []float64, putFrac, delFrac float64) ([]ServeRow, error) {
 		if row.Ops > 0 {
 			row.SeeksPerOp = float64(row.Seeks) / float64(row.Ops)
 		}
+		if hits, misses := tel.KVCacheHits.Value(), tel.KVCacheMisses.Value(); hits+misses > 0 {
+			row.CacheHitPct = 100 * float64(hits) / float64(hits+misses)
+		}
+		row.Holds = tel.ServeHolds.Value()
 		for _, ev := range svc.EvaluateSLOs() {
 			switch ev.Name {
 			case "serve-p50":
@@ -123,13 +160,13 @@ func sweepMix(rates []float64, putFrac, delFrac float64) ([]ServeRow, error) {
 // FormatServeSweep renders the sweep as a table.
 func FormatServeSweep(title string, rows []ServeRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Serving: %s (4 tenants x 16 clients)\n", title)
-	fmt.Fprintf(&b, "%10s %6s %12s %12s %12s %8s %9s %6s %6s\n",
-		"ops/Mc/ten", "ops", "done/Mcyc", "p50(cyc)", "p99(cyc)", "tmo", "seeks/op", "p50", "p99")
+	fmt.Fprintf(&b, "Serving: %s\n", title)
+	fmt.Fprintf(&b, "%10s %6s %12s %12s %12s %8s %9s %6s %6s %6s %6s\n",
+		"ops/Mc/ten", "ops", "done/Mcyc", "p50(cyc)", "p99(cyc)", "tmo", "seeks/op", "hit%", "holds", "p50", "p99")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%10.3g %6d %12.3f %12.0f %12.0f %8d %9.2f %6s %6s\n",
+		fmt.Fprintf(&b, "%10.3g %6d %12.3f %12.0f %12.0f %8d %9.2f %6.1f %6d %6s %6s\n",
 			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts, r.SeeksPerOp,
-			verdict(r.P50Pass), verdict(r.P99Pass))
+			r.CacheHitPct, r.Holds, verdict(r.P50Pass), verdict(r.P99Pass))
 	}
 	return b.String()
 }
@@ -143,12 +180,12 @@ func verdict(pass bool) string {
 
 // WriteServeCSV emits the sweep as CSV.
 func WriteServeCSV(w io.Writer, rows []ServeRow) error {
-	if _, err := fmt.Fprintln(w, "rate_per_mcycle,ops,throughput_per_mcycle,p50_cycles,p99_cycles,timeouts,seeks,seeks_per_op,p50_pass,p99_pass"); err != nil {
+	if _, err := fmt.Fprintln(w, "rate_per_mcycle,ops,throughput_per_mcycle,p50_cycles,p99_cycles,timeouts,seeks,seeks_per_op,cache_hit_pct,holds,p50_pass,p99_pass"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "%g,%d,%f,%f,%f,%d,%d,%f,%t,%t\n",
-			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts, r.Seeks, r.SeeksPerOp, r.P50Pass, r.P99Pass); err != nil {
+		if _, err := fmt.Fprintf(w, "%g,%d,%f,%f,%f,%d,%d,%f,%f,%d,%t,%t\n",
+			r.Rate, r.Ops, r.Throughput, r.P50, r.P99, r.Timeouts, r.Seeks, r.SeeksPerOp, r.CacheHitPct, r.Holds, r.P50Pass, r.P99Pass); err != nil {
 			return err
 		}
 	}

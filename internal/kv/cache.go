@@ -1,0 +1,121 @@
+package kv
+
+// ValueCache is a fixed-capacity LRU of byte slices. The serve guest
+// keeps one in front of its store, holding *session-encrypted* hot
+// values: a repeated get is answered from the cache without recharging
+// the session cipher or touching the index, and the cached bytes are
+// ciphertext, so even a disclosure of the cache pages would not hand
+// the hypervisor plaintext. The cache is a plain map + intrusive list
+// (no locking): the guest is single-threaded per ring.
+//
+// Coherence is the caller's problem and is simple by construction: the
+// guest invalidates a key when a mutation on it is staged, and only
+// repopulates from the store after a successful commit — never from
+// in-flight request bytes, so a failed commit cannot leave a stale
+// entry behind.
+type ValueCache struct {
+	cap     int
+	entries map[string]*cacheEntry
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry // least recently used
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key        string
+	val        []byte
+	prev, next *cacheEntry
+}
+
+// NewValueCache returns a cache holding at most capacity entries.
+// Capacity must be positive.
+func NewValueCache(capacity int) *ValueCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &ValueCache{
+		cap:     capacity,
+		entries: make(map[string]*cacheEntry, capacity),
+	}
+}
+
+func (c *ValueCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *ValueCache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Get returns the cached bytes for key and refreshes its recency. The
+// returned slice is the cache's own storage — callers must not mutate
+// it. Every call counts as a hit or a miss.
+func (c *ValueCache) Get(key string) ([]byte, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.val, true
+}
+
+// Put inserts or replaces an entry, evicting the least recently used
+// one if the cache is at capacity. The cache keeps val itself (no
+// copy); callers hand over ownership.
+func (c *ValueCache) Put(key string, val []byte) {
+	if e, ok := c.entries[key]; ok {
+		e.val = val
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	if len(c.entries) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+	}
+	e := &cacheEntry{key: key, val: val}
+	c.entries[key] = e
+	c.pushFront(e)
+}
+
+// Invalidate drops an entry if present.
+func (c *ValueCache) Invalidate(key string) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	c.unlink(e)
+	delete(c.entries, key)
+}
+
+// Len reports the number of cached entries.
+func (c *ValueCache) Len() int { return len(c.entries) }
+
+// Stats reports lookup counters accumulated since creation.
+func (c *ValueCache) Stats() (hits, misses uint64) { return c.hits, c.misses }

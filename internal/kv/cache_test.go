@@ -1,0 +1,59 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestValueCacheLRU(t *testing.T) {
+	c := NewValueCache(3)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// k0 was least recently used and must have been evicted.
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3", c.Len())
+	}
+	// Touch k1, then insert: k2 becomes the victim.
+	if v, ok := c.Get("k1"); !ok || v[0] != 1 {
+		t.Fatalf("k1 = %v, %v", v, ok)
+	}
+	c.Put("k4", []byte{4})
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("recency not updated: k2 should have been evicted, not k1")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("stats = %d/%d, want 2 hits, 2 misses", hits, misses)
+	}
+}
+
+func TestValueCacheReplaceAndInvalidate(t *testing.T) {
+	c := NewValueCache(2)
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	if c.Len() != 1 {
+		t.Fatalf("replace grew the cache to %d", c.Len())
+	}
+	if v, _ := c.Get("k"); string(v) != "v2" {
+		t.Fatalf("replace kept %q", v)
+	}
+	c.Invalidate("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("invalidated entry still present")
+	}
+	c.Invalidate("never-there") // must not panic
+	// Eviction still works after churn.
+	c.Put("a", nil)
+	c.Put("b", nil)
+	c.Put("c", nil)
+	if c.Len() != 2 {
+		t.Fatalf("len %d after churn, want 2", c.Len())
+	}
+}

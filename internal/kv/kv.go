@@ -7,25 +7,38 @@
 //
 // On-disk layout: a sequence of sector-aligned records,
 //
-//	[4B magic][4B keyLen][4B valLen][4B crc][key][value][padding to sector]
+//	[4B magic][4B keyLen][4B valLen][8B epoch][4B crc][key][value][padding to sector]
 //
 // terminated by a zero sector. A valLen of 0xFFFFFFFF marks a tombstone
 // (the key is deleted; no value bytes follow), so an empty value and a
 // deletion are distinct on disk. The crc (IEEE CRC-32 over the length
-// fields, key and value) exists for group commit: a batch is written as
-// one contiguous record span after the terminator, so a crash can tear
-// the span mid-record, leaving a head sector whose lengths parse but
-// whose tail was never written. Replay detects that with the crc and
-// truncates the log at the torn record — the longest valid prefix wins.
-// The store is crash-simple: reopening scans the log and rebuilds the
-// index.
+// fields, epoch, key and value) exists for group commit: a batch is
+// written as one contiguous record span after the terminator, so a
+// crash can tear the span mid-record, leaving a head sector whose
+// lengths parse but whose tail was never written. Replay detects that
+// with the crc and truncates the log at the torn record — the longest
+// valid prefix wins. The store is crash-simple: reopening scans the log
+// and rebuilds the index.
 //
 // Write ordering: every commit (single Put/Delete or a batched Apply)
 // writes the *new* terminator first, then the record span. A torn
 // sequence therefore always replays to a valid prefix of the committed
 // ops. When the device implements Flusher (see WriteCoalescer), the
 // store inserts a flush barrier between the terminator and the span so
-// coalescing cannot reorder them into one request.
+// coalescing cannot reorder them into one request. If the span itself
+// fails mid-commit, the error path seals the log: the landed prefix is
+// zeroed back out so a later crash cannot replay mutations the caller
+// was told had failed.
+//
+// Compaction: a region initialised with FormatCompactable carries a
+// versioned superblock sector followed by two equal log halves. Only
+// one half is live at a time; Compact rewrites the live records as one
+// group-committed span into the idle half and then flips the
+// superblock — a single sector-atomic write — to the new half and a new
+// epoch. A crash at any point replays either the old log or the new
+// one, never a mix: before the flip the superblock still names the old
+// half, and after it the epoch tag in every record header lets replay
+// reject stale debris left over from the half's previous life.
 package kv
 
 import (
@@ -33,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 )
 
 // BlockDev is the sector interface the store persists through — satisfied
@@ -47,8 +61,11 @@ const SectorSize = 512
 
 const magic = 0xF1DE1105
 
-// headerSize is the fixed record prefix: magic, keyLen, valLen, crc.
-const headerSize = 16
+// superMagic marks the superblock sector of a compactable region.
+const superMagic = 0xF1DE5B0C
+
+// headerSize is the fixed record prefix: magic, keyLen, valLen, epoch, crc.
+const headerSize = 24
 
 // Bounds enforced on both the write path (append/Apply) and replay. The
 // pair must agree: a record accepted by Put but rejected by replay would
@@ -75,6 +92,15 @@ var ErrCorrupt = errors.New("kv: corrupt log")
 // ErrCorrupt.
 var ErrTooLarge = errors.New("kv: key or value too large")
 
+// ErrFull reports a commit (or a compaction's live set) that does not
+// fit the log region. The store is unchanged; compactable stores can
+// reclaim dead records with Compact and retry.
+var ErrFull = errors.New("kv: store full")
+
+// ErrNotCompactable reports a Compact on a store whose region was not
+// initialised with FormatCompactable (no superblock, no idle half).
+var ErrNotCompactable = errors.New("kv: store has no compaction superblock")
+
 // Flusher is implemented by buffering devices (WriteCoalescer). The
 // store flushes at its two commit barriers: after the terminator write
 // and after the record span.
@@ -89,12 +115,53 @@ type Op struct {
 	Delete bool
 }
 
-// Format initialises a fresh store region by writing the log terminator.
-// It is required before the first Open when the device is an encrypting
-// front-end: a never-written disk does not read back as zeros through an
-// encryption layer.
+// StoreStats counts maintenance activity since Open.
+type StoreStats struct {
+	Compactions      uint64 // completed Compact cycles
+	ReclaimedSectors uint64 // log sectors reclaimed across all compactions
+	SealedCommits    uint64 // failed Apply spans zeroed back out of the log
+}
+
+// Format initialises a fresh single-log store region by writing the log
+// terminator. It is required before the first Open when the device is an
+// encrypting front-end: a never-written disk does not read back as zeros
+// through an encryption layer. Regions formatted this way cannot
+// compact; see FormatCompactable.
 func Format(dev BlockDev, baseLBA uint64) error {
 	return dev.WriteSectors(baseLBA, make([]byte, SectorSize))
+}
+
+// FormatCompactable initialises a fresh compactable region: a versioned
+// superblock at baseLBA naming the active half and epoch, followed by
+// two equal log halves of (sectors-1)/2 sectors each. Only the active
+// half needs a terminator; the idle half is fully rewritten (terminator
+// first) by the Compact that activates it.
+func FormatCompactable(dev BlockDev, baseLBA uint64, sectors int) error {
+	if sectors < 3 {
+		return fmt.Errorf("kv: compactable region needs >= 3 sectors, got %d", sectors)
+	}
+	if err := writeSuper(dev, baseLBA, 1, 0); err != nil {
+		return err
+	}
+	if err := dev.WriteSectors(baseLBA+1, make([]byte, SectorSize)); err != nil {
+		return err
+	}
+	if fl, ok := dev.(Flusher); ok {
+		return fl.Flush()
+	}
+	return nil
+}
+
+// writeSuper encodes and writes the superblock: magic, epoch, active
+// half, crc. The write is one sector, so a flip is atomic under the
+// sector-granular crash model.
+func writeSuper(dev BlockDev, lba uint64, epoch uint64, half int) error {
+	buf := make([]byte, SectorSize)
+	binary.LittleEndian.PutUint32(buf[0:], superMagic)
+	binary.LittleEndian.PutUint64(buf[4:], epoch)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(half))
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(buf[4:16]))
+	return dev.WriteSectors(lba, buf)
 }
 
 // Store is one open key-value store.
@@ -102,23 +169,60 @@ type Store struct {
 	dev     BlockDev
 	fl      Flusher // dev's flush barrier, nil when dev does not buffer
 	baseLBA uint64
-	maxLBA  uint64
+	super   bool   // region carries a superblock and two halves
+	epoch   uint64 // commit epoch stamped into every record (0 for legacy)
+	half    int    // active half, compactable regions only
+	halfLen uint64 // sectors per half, compactable regions only
+	logBase uint64 // first sector of the active log
+	maxLBA  uint64 // end of the active log (exclusive)
 	nextLBA uint64
 	index   map[string][]byte
+	live    uint64 // sectors a compaction would keep (latest record per live key)
+	stats   StoreStats
 }
 
 // Open creates or recovers a store occupying [baseLBA, baseLBA+sectors)
-// on the device, replaying any existing log.
+// on the device, replaying any existing log. The region's layout is
+// auto-detected: a superblock first sector selects the compactable
+// two-half layout, anything else is a legacy single log.
 func Open(dev BlockDev, baseLBA uint64, sectors int) (*Store, error) {
 	s := &Store{
 		dev:     dev,
 		baseLBA: baseLBA,
-		maxLBA:  baseLBA + uint64(sectors),
-		nextLBA: baseLBA,
 		index:   make(map[string][]byte),
 	}
 	s.fl, _ = dev.(Flusher)
-	if err := s.replay(); err != nil {
+	head := make([]byte, SectorSize)
+	if err := dev.ReadSectors(baseLBA, head); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(head[0:]) == superMagic {
+		if sectors < 3 {
+			return nil, fmt.Errorf("%w: compactable region needs >= 3 sectors", ErrCorrupt)
+		}
+		if binary.LittleEndian.Uint32(head[16:]) != crc32.ChecksumIEEE(head[4:16]) {
+			return nil, fmt.Errorf("%w: superblock crc mismatch", ErrCorrupt)
+		}
+		half := int(binary.LittleEndian.Uint32(head[12:]))
+		if half > 1 {
+			return nil, fmt.Errorf("%w: superblock names half %d", ErrCorrupt, half)
+		}
+		s.super = true
+		s.epoch = binary.LittleEndian.Uint64(head[4:])
+		s.half = half
+		s.halfLen = uint64((sectors - 1) / 2)
+		s.logBase = baseLBA + 1 + uint64(half)*s.halfLen
+		s.maxLBA = s.logBase + s.halfLen
+		s.nextLBA = s.logBase
+		head = nil // replay reads the log half itself
+	} else {
+		s.logBase = baseLBA
+		s.maxLBA = baseLBA + uint64(sectors)
+		s.nextLBA = baseLBA
+		// head already holds the first log sector — hand it to replay so
+		// the layout sniff does not double-read it.
+	}
+	if err := s.replay(head); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -128,30 +232,50 @@ func recordSectors(keyLen, valLen int) int {
 	return (headerSize + keyLen + valLen + SectorSize - 1) / SectorSize
 }
 
-// recordCRC covers the length fields plus payload so a torn or patched
-// record cannot keep a stale checksum from a different geometry.
+// recordCRC covers the length fields, epoch and payload so a torn or
+// patched record cannot keep a stale checksum from a different geometry
+// or a different life of the half.
 func recordCRC(hdr []byte, key string, value []byte) uint32 {
-	c := crc32.ChecksumIEEE(hdr[4:12])
+	c := crc32.ChecksumIEEE(hdr[4:20])
 	c = crc32.Update(c, crc32.IEEETable, []byte(key))
 	return crc32.Update(c, crc32.IEEETable, value)
 }
 
-// replay scans the log rebuilding the index. Each record is read exactly
-// once: the head sector is parsed in place and only the tail sectors
-// (if any) are fetched afterwards — an earlier version re-read the head
-// inside the full-record read, doubling replay's sector traffic.
-func (s *Store) replay() error {
+// replay scans the active log rebuilding the index. Each record is read
+// exactly once: the head sector is parsed in place and only the tail
+// sectors (if any) are fetched afterwards — an earlier version re-read
+// the head inside the full-record read, doubling replay's sector
+// traffic. pre, when non-nil, is the already-read first log sector.
+//
+// Legacy single-log regions keep loud corruption detection: a bad magic
+// or silly lengths before the terminator is ErrCorrupt. A compactable
+// half cannot afford that — after a flip the idle half is recycled full
+// of old record bytes, and a torn commit there legitimately leaves
+// arbitrary debris (even mid-value bytes of a prior epoch) at the log
+// tail. There, any unparseable or stale-epoch record simply ends the
+// log: the epoch tag plus crc decide what is part of this half's
+// current life.
+func (s *Store) replay(pre []byte) error {
 	var buf []byte
 	head := make([]byte, SectorSize)
+	first := true
 	for s.nextLBA < s.maxLBA {
-		if err := s.dev.ReadSectors(s.nextLBA, head); err != nil {
-			return err
+		if first && pre != nil {
+			copy(head, pre)
+		} else {
+			if err := s.dev.ReadSectors(s.nextLBA, head); err != nil {
+				return err
+			}
 		}
+		first = false
 		m := binary.LittleEndian.Uint32(head[0:])
 		if m == 0 {
 			return nil // end of log
 		}
 		if m != magic {
+			if s.super {
+				return nil // recycled-half debris: the log ends here
+			}
 			return fmt.Errorf("%w: bad magic %#x at lba %d", ErrCorrupt, m, s.nextLBA)
 		}
 		keyLen := int(binary.LittleEndian.Uint32(head[4:]))
@@ -162,11 +286,22 @@ func (s *Store) replay() error {
 			valLen = 0
 		}
 		if keyLen <= 0 || keyLen > MaxKeyLen || valLen < 0 || valLen > MaxValueLen {
+			if s.super {
+				return nil
+			}
 			return fmt.Errorf("%w: silly lengths %d/%d", ErrCorrupt, keyLen, valLen)
 		}
 		n := recordSectors(keyLen, valLen)
 		if s.nextLBA+uint64(n) > s.maxLBA {
+			if s.super {
+				return nil
+			}
 			return fmt.Errorf("%w: record overruns the region", ErrCorrupt)
+		}
+		if binary.LittleEndian.Uint64(head[12:]) != s.epoch {
+			// A record from a previous life of this half (pre-compaction
+			// debris): not part of the current log.
+			return nil
 		}
 		if cap(buf) < n*SectorSize {
 			buf = make([]byte, n*SectorSize)
@@ -180,21 +315,31 @@ func (s *Store) replay() error {
 		}
 		key := string(buf[headerSize : headerSize+keyLen])
 		val := buf[headerSize+keyLen : headerSize+keyLen+valLen]
-		if binary.LittleEndian.Uint32(buf[12:]) != recordCRC(buf, key, val) {
+		if binary.LittleEndian.Uint32(buf[20:]) != recordCRC(buf, key, val) {
 			// Torn tail of a group commit: the head sector landed but the
 			// rest of the span did not. Everything before this record is
 			// the longest valid prefix — stop here and let the next commit
 			// overwrite the debris.
 			return nil
 		}
-		if dead {
-			delete(s.index, key) // tombstone
-		} else {
-			s.index[key] = append([]byte{}, val...)
-		}
+		s.applyIndex(key, val, dead)
 		s.nextLBA += uint64(n)
 	}
 	return nil
+}
+
+// applyIndex installs one decoded mutation into the index, keeping the
+// live-sector count (what a compaction would rewrite) in step.
+func (s *Store) applyIndex(key string, val []byte, dead bool) {
+	if old, ok := s.index[key]; ok {
+		s.live -= uint64(recordSectors(len(key), len(old)))
+	}
+	if dead {
+		delete(s.index, key)
+	} else {
+		s.index[key] = append([]byte{}, val...)
+		s.live += uint64(recordSectors(len(key), len(val)))
+	}
 }
 
 // validate enforces the same bounds replay does, at append time.
@@ -212,8 +357,8 @@ func validate(op Op) error {
 }
 
 // encodeRecord fills buf (recordSectors worth, pre-zeroed) with op's
-// on-disk record.
-func encodeRecord(buf []byte, op Op) {
+// on-disk record, stamped with the store's current commit epoch.
+func encodeRecord(buf []byte, op Op, epoch uint64) {
 	binary.LittleEndian.PutUint32(buf[0:], magic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(op.Key)))
 	if op.Delete {
@@ -221,11 +366,12 @@ func encodeRecord(buf []byte, op Op) {
 	} else {
 		binary.LittleEndian.PutUint32(buf[8:], uint32(len(op.Value)))
 	}
+	binary.LittleEndian.PutUint64(buf[12:], epoch)
 	val := op.Value
 	if op.Delete {
 		val = nil
 	}
-	binary.LittleEndian.PutUint32(buf[12:], recordCRC(buf, op.Key, val))
+	binary.LittleEndian.PutUint32(buf[20:], recordCRC(buf, op.Key, val))
 	copy(buf[headerSize:], op.Key)
 	copy(buf[headerSize+len(op.Key):], val)
 }
@@ -237,13 +383,28 @@ func (s *Store) flush() error {
 	return nil
 }
 
+// seal re-establishes "the log ends at nextLBA" after a failed commit.
+// Without it the landed prefix of the failed span is a valid log
+// extension — the caller was told those mutations failed, but a later
+// crash would replay them and they would resurrect. Zeroing only the
+// head sector is not enough either: the orphan records behind it have
+// valid crcs and could be re-exposed at a record boundary by a later
+// torn commit, so the whole failed span is zeroed. Best effort — the
+// device is already failing, and the original commit error is what the
+// caller sees.
+func (s *Store) seal(total uint64) {
+	_ = s.dev.WriteSectors(s.nextLBA, make([]byte, total*SectorSize))
+	_ = s.flush()
+	s.stats.SealedCommits++
+}
+
 // Apply group-commits a batch of mutations: one terminator write plus
 // one contiguous record span, so a batch of N ops costs the same two
 // non-sequential disk writes a single Put used to. Ops land in the index
 // in slice order (a later op on the same key wins), and the resulting
 // log bytes are identical to issuing the ops serially. On error nothing
-// is applied to the index; a torn span on disk replays to a valid prefix
-// of the batch.
+// is applied to the index and the log is sealed back to its pre-batch
+// length; a torn span on disk replays to a valid prefix of the batch.
 func (s *Store) Apply(ops []Op) error {
 	if len(ops) == 0 {
 		return nil
@@ -260,9 +421,11 @@ func (s *Store) Apply(ops []Op) error {
 		total += uint64(recordSectors(len(op.Key), valLen))
 	}
 	if s.nextLBA+total > s.maxLBA {
-		return errors.New("kv: store full")
+		return ErrFull
 	}
-	// Terminator first, then the span: a torn sequence still replays.
+	// Terminator first, then the span: a torn sequence still replays. An
+	// exact-fit span has nowhere to put a terminator — replay's region
+	// bound is the terminator there, and the next commit reports ErrFull.
 	if s.nextLBA+total < s.maxLBA {
 		if err := Format(s.dev, s.nextLBA+total); err != nil {
 			return err
@@ -281,24 +444,110 @@ func (s *Store) Apply(ops []Op) error {
 		}
 		n := recordSectors(len(op.Key), valLen)
 		buf := make([]byte, n*SectorSize)
-		encodeRecord(buf, op)
+		encodeRecord(buf, op, s.epoch)
 		if err := s.dev.WriteSectors(lba, buf); err != nil {
+			s.seal(total)
 			return err
+		}
+		lba += uint64(n)
+	}
+	if err := s.flush(); err != nil {
+		s.seal(total)
+		return err
+	}
+	s.nextLBA = lba
+	for _, op := range ops {
+		s.applyIndex(op.Key, op.Value, op.Delete)
+	}
+	return nil
+}
+
+// Compact rewrites the live records (sorted by key, current epoch + 1)
+// as one group-committed span into the idle half, then flips the
+// superblock to name the new half — a single sector-atomic write, the
+// only point where the live log changes. A crash strictly before the
+// flip replays the old half untouched; a crash at or after it replays
+// exactly the compacted log (plus any later commits). Old-epoch debris
+// beyond the compacted span is rejected by replay's epoch check, so the
+// two logs can never mix.
+func (s *Store) Compact() error {
+	if !s.super {
+		return ErrNotCompactable
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := uint64(0)
+	for _, k := range keys {
+		total += uint64(recordSectors(len(k), len(s.index[k])))
+	}
+	if total > s.halfLen {
+		return ErrFull // the live set alone overflows a half
+	}
+	newEpoch := s.epoch + 1
+	newHalf := 1 - s.half
+	dstBase := s.baseLBA + 1 + uint64(newHalf)*s.halfLen
+	// Same ordering as Apply: terminator, barrier, span, barrier. None of
+	// it is live until the flip, but the final flush below must know the
+	// whole new log is on the device before the superblock moves.
+	if total < s.halfLen {
+		if err := Format(s.dev, dstBase+total); err != nil {
+			return err
+		}
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	lba := dstBase
+	for _, k := range keys {
+		v := s.index[k]
+		n := recordSectors(len(k), len(v))
+		buf := make([]byte, n*SectorSize)
+		encodeRecord(buf, Op{Key: k, Value: v}, newEpoch)
+		if err := s.dev.WriteSectors(lba, buf); err != nil {
+			return err // old half still live; new half is inert debris
 		}
 		lba += uint64(n)
 	}
 	if err := s.flush(); err != nil {
 		return err
 	}
-	s.nextLBA = lba
-	for _, op := range ops {
-		if op.Delete {
-			delete(s.index, op.Key)
-		} else {
-			s.index[op.Key] = append([]byte{}, op.Value...)
-		}
+	// The flip.
+	if err := writeSuper(s.dev, s.baseLBA, newEpoch, newHalf); err != nil {
+		return err
 	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	reclaimed := s.UsedSectors() - total
+	s.epoch = newEpoch
+	s.half = newHalf
+	s.logBase = dstBase
+	s.maxLBA = dstBase + s.halfLen
+	s.nextLBA = lba
+	s.live = total
+	s.stats.Compactions++
+	s.stats.ReclaimedSectors += reclaimed
 	return nil
+}
+
+// GarbageRatio reports the fraction of the log occupied by dead records
+// (superseded versions and applied tombstones).
+func (s *Store) GarbageRatio() float64 {
+	used := s.UsedSectors()
+	if used == 0 {
+		return 0
+	}
+	return 1 - float64(s.live)/float64(used)
+}
+
+// NeedsCompact reports whether a Compact would both succeed and reclaim
+// space: the region is compactable, at least minGarbage of the log is
+// dead, and the live set fits a half.
+func (s *Store) NeedsCompact(minGarbage float64) bool {
+	return s.super && s.UsedSectors() > s.live && s.GarbageRatio() >= minGarbage && s.live <= s.halfLen
 }
 
 // PutBatch group-commits a set of puts. It is Apply restricted to
@@ -321,13 +570,25 @@ func (s *Store) Put(key string, value []byte) error {
 	return s.Apply([]Op{{Key: key, Value: value}})
 }
 
-// Get returns the current value of a key.
+// Get returns a copy of the current value of a key.
 func (s *Store) Get(key string) ([]byte, error) {
+	v, err := s.GetView(key)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{}, v...), nil
+}
+
+// GetView returns the store's own backing bytes for a key, without the
+// per-call copy Get pays. The slice is read-only and only valid until
+// the next mutation of that key; callers that hold it across commits
+// must copy it first.
+func (s *Store) GetView(key string) ([]byte, error) {
 	v, ok := s.index[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	return append([]byte{}, v...), nil
+	return v, nil
 }
 
 // Delete writes a tombstone record and drops the key from the index.
@@ -348,5 +609,23 @@ func (s *Store) Keys() []string {
 	return out
 }
 
-// UsedSectors reports the log length in sectors.
-func (s *Store) UsedSectors() uint64 { return s.nextLBA - s.baseLBA }
+// UsedSectors reports the active log length in sectors (superblock
+// excluded).
+func (s *Store) UsedSectors() uint64 { return s.nextLBA - s.logBase }
+
+// LiveSectors reports the sectors a compaction would keep.
+func (s *Store) LiveSectors() uint64 { return s.live }
+
+// HalfSectors reports the per-half capacity of a compactable region
+// (0 for legacy single-log regions).
+func (s *Store) HalfSectors() uint64 { return s.halfLen }
+
+// Compactable reports whether the region carries a superblock.
+func (s *Store) Compactable() bool { return s.super }
+
+// Epoch reports the current commit epoch (0 for legacy regions, >= 1
+// for compactable ones; each Compact advances it).
+func (s *Store) Epoch() uint64 { return s.epoch }
+
+// Stats reports maintenance counters accumulated since Open.
+func (s *Store) Stats() StoreStats { return s.stats }

@@ -14,10 +14,17 @@ import (
 // storeLBA is where the kv log region starts on each tenant disk.
 const storeLBA = 8
 
+// Guest compaction policy: between doorbell batches the guest compacts
+// once at least compactGarbageFrac of the log is dead records and the
+// log has grown past half of a half's capacity (compacting a short log
+// reclaims little and still pays the rewrite).
+const compactGarbageFrac = 0.5
+
 // stagedResp is one response held back until the batch's group commit
 // decides its final status.
 type stagedResp struct {
 	id     uint64
+	op     uint32
 	status uint32
 	val    []byte
 	muted  bool // true when the op rode the batch's kv.Apply
@@ -49,9 +56,21 @@ type overlayVal struct {
 // commit's record span reaches blkio.go as one sequential request: a
 // batch of N mutations costs two disk writes (terminator + span) and at
 // most two seeks, where the old per-op path paid 2N of each.
+//
+// Two maintenance mechanisms ride the batch loop. A read cache holds
+// the session-*encrypted* bytes of hot values, so a repeated get skips
+// both the index copy and the session-cipher recharge; entries are
+// invalidated when a mutation on the key is staged and repopulated only
+// from committed store state, never from in-flight request bytes — a
+// failed commit therefore cannot plant a stale entry. And between
+// batches the guest compacts the log once the garbage ratio crosses
+// compactGarbageFrac (or immediately, when a commit reports ErrFull),
+// so a long-lived tenant's write volume can exceed the store region
+// without ever surfacing "store full" to its clients.
 func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 	kbase := t.kbase
 	sectors := s.cfg.StoreSectors
+	cacheCap := s.cfg.ReadCacheEntries
 	hub := s.hub()
 	return func(g *xen.GuestEnv) error {
 		bf, err := xen.NewBlockFrontend(g)
@@ -67,12 +86,16 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 			return err
 		}
 		dev := kv.NewWriteCoalescer(aes, 0)
-		if err := kv.Format(dev, storeLBA); err != nil {
+		if err := kv.FormatCompactable(dev, storeLBA, sectors); err != nil {
 			return err
 		}
 		store, err := kv.Open(dev, storeLBA, sectors)
 		if err != nil {
 			return err
+		}
+		var cache *kv.ValueCache
+		if cacheCap > 0 {
+			cache = kv.NewValueCache(cacheCap)
 		}
 
 		frames := int(g.Info.ServeFrames)
@@ -90,8 +113,28 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 		resps := make([]stagedResp, 0, frames)
 		muts := make([]kv.Op, 0, frames)
 		overlay := make(map[string]overlayVal, frames)
-		var pubStats kv.CoalesceStats // last published coalescer counters
+		// Last published telemetry baselines: the guest exports deltas
+		// after every batch so host-side dashboards track it live.
+		var pubCoal kv.CoalesceStats
+		var pubStore kv.StoreStats
+		var pubHits, pubMisses uint64
 		served := 0
+		publish := func() {
+			st := dev.Stats()
+			hub.M.KVSeqWrites.Add(st.SeqWrites - pubCoal.SeqWrites)
+			hub.M.KVGroupCommits.Add(st.GroupCommits - pubCoal.GroupCommits)
+			pubCoal = st
+			ss := store.Stats()
+			hub.M.KVCompactions.Add(ss.Compactions - pubStore.Compactions)
+			hub.M.KVReclaimed.Add(ss.ReclaimedSectors - pubStore.ReclaimedSectors)
+			pubStore = ss
+			if cache != nil {
+				h, m := cache.Stats()
+				hub.M.KVCacheHits.Add(h - pubHits)
+				hub.M.KVCacheMisses.Add(m - pubMisses)
+				pubHits, pubMisses = h, m
+			}
+		}
 		for {
 			if _, err := g.Hypercall(xen.HCEventChannelOp, xen.EvtOpSend, doorbell); err != nil {
 				return err
@@ -114,7 +157,7 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 				continue
 			}
 			// Pass 1: decode the batch, stage mutations, answer gets from
-			// the overlay-over-store view.
+			// the overlay-over-store view (the cache under that).
 			resps = resps[:0]
 			muts = muts[:0]
 			for k := range overlay {
@@ -128,7 +171,7 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 				if err != nil {
 					return err
 				}
-				r := stagedResp{id: id, status: StatusError}
+				r := stagedResp{id: id, op: op, status: StatusError}
 				switch op {
 				case OpInstallKey:
 					if len(val) == 32 {
@@ -142,42 +185,54 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 						xorSession(sessionKey, key, val)
 						muts = append(muts, kv.Op{Key: key, Value: val})
 						overlay[key] = overlayVal{val: val}
+						if cache != nil {
+							cache.Invalidate(key)
+						}
 						r.status, r.muted = StatusOK, true
 					}
 				case OpDelete:
 					if haveKey {
 						muts = append(muts, kv.Op{Key: key, Delete: true})
 						overlay[key] = overlayVal{dead: true}
+						if cache != nil {
+							cache.Invalidate(key)
+						}
 						r.status, r.muted = StatusOK, true
 					}
 				case OpGet:
 					if haveKey {
-						r.status, r.val = execGet(g, store, overlay, sessionKey, key)
+						r.status, r.val = execGet(g, store, cache, overlay, sessionKey, key)
 					}
-				}
-				if op != OpInstallKey {
-					served++
 				}
 				resps = append(resps, r)
 			}
-			// Pass 2: one group commit for the whole batch. On failure the
-			// staged mutations (and only those) report errors — nothing
-			// was applied to the index.
+			// Pass 2: one group commit for the whole batch. A full log gets
+			// one compact-and-retry — the region may be mostly dead
+			// records. On (final) failure the staged mutations report
+			// errors: nothing was applied to the index, and the store
+			// sealed the failed span out of the log.
 			if len(muts) > 0 {
-				if err := store.Apply(muts); err != nil {
+				err := store.Apply(muts)
+				if errors.Is(err, kv.ErrFull) {
+					if cerr := store.Compact(); cerr == nil {
+						err = store.Apply(muts)
+					}
+				}
+				if err != nil {
 					for i := range resps {
 						if resps[i].muted {
 							resps[i].status = StatusError
 						}
 					}
 				}
-				st := dev.Stats()
-				hub.M.KVSeqWrites.Add(st.SeqWrites - pubStats.SeqWrites)
-				hub.M.KVGroupCommits.Add(st.GroupCommits - pubStats.GroupCommits)
-				pubStats = st
 			}
-			// Pass 3: post the responses.
+			// Pass 3: post the responses. served mirrors the host's
+			// serve.ops accounting — real ops that completed with a
+			// definitive answer; key installs and errored ops don't count.
 			for i, r := range resps {
+				if r.op != OpInstallKey && (r.status == StatusOK || r.status == StatusNotFound) {
+					served++
+				}
 				if err := encodeResponse(out[:], r.id, r.status, r.val); err != nil {
 					return err
 				}
@@ -192,34 +247,56 @@ func (s *Service) guestMain(t *tenant) xen.GuestFunc {
 			if _, err := g.Hypercall(xen.HCEventChannelOp, xen.EvtOpSend, completion); err != nil {
 				return err
 			}
+			// Between batches: reclaim dead log space before asking for
+			// more work. Compaction never changes a key's value, so the
+			// read cache stays coherent across it.
+			if store.NeedsCompact(compactGarbageFrac) && store.UsedSectors() >= store.HalfSectors()/2 {
+				if err := store.Compact(); err != nil && !errors.Is(err, kv.ErrFull) {
+					return err
+				}
+			}
+			publish()
 		}
 	}
 }
 
 // execGet answers one get against the batch overlay first, then the
-// store. Values cross the (hypervisor-visible) ring encrypted under the
-// session key; the session-cipher work is charged at AES-NI hardware
-// cost, like the disk path's.
-func execGet(g *xen.GuestEnv, store *kv.Store, overlay map[string]overlayVal, sessionKey [32]byte, key string) (uint32, []byte) {
-	var v []byte
+// read cache, then the store. Values cross the (hypervisor-visible)
+// ring encrypted under the session key; a cache hit returns the
+// already-encrypted bytes without recharging the cipher, and the
+// session-cipher work on misses is charged at AES-NI hardware cost,
+// like the disk path's.
+func execGet(g *xen.GuestEnv, store *kv.Store, cache *kv.ValueCache, overlay map[string]overlayVal, sessionKey [32]byte, key string) (uint32, []byte) {
 	if o, ok := overlay[key]; ok {
 		if o.dead {
 			return StatusNotFound, nil
 		}
-		v = append([]byte{}, o.val...)
-	} else {
-		got, err := store.Get(key)
-		if errors.Is(err, kv.ErrNotFound) {
-			return StatusNotFound, nil
-		}
-		if err != nil {
-			return StatusError, nil
-		}
-		v = got
+		// Mutated earlier in this batch: encrypt the staged value. Not
+		// cached — the commit may still fail.
+		v := append([]byte{}, o.val...)
+		chargeSessionCipher(g, len(v))
+		xorSession(sessionKey, key, v)
+		return StatusOK, v
 	}
-	chargeSessionCipher(g, len(v))
-	xorSession(sessionKey, key, v)
-	return StatusOK, v
+	if cache != nil {
+		if ct, ok := cache.Get(key); ok {
+			return StatusOK, ct
+		}
+	}
+	view, err := store.GetView(key)
+	if errors.Is(err, kv.ErrNotFound) {
+		return StatusNotFound, nil
+	}
+	if err != nil {
+		return StatusError, nil
+	}
+	ct := append([]byte{}, view...)
+	chargeSessionCipher(g, len(ct))
+	xorSession(sessionKey, key, ct)
+	if cache != nil {
+		cache.Put(key, ct)
+	}
+	return StatusOK, ct
 }
 
 // chargeSessionCipher accounts the session-key crypto on the cycle clock.

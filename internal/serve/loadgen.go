@@ -51,8 +51,9 @@ type loadGen struct {
 // buildLoad generates a tenant's schedule: clients*opsPerClient ops,
 // Poisson arrivals at ratePerMCycle (expected ops per million cycles),
 // assigned round-robin to clients so each client is an in-order
-// subsequence of the tenant stream.
-func buildLoad(tenantIdx, clients, opsPerClient int, ratePerMCycle float64, putFrac, delFrac float64, valueBytes, window int, rng *rand.Rand) *loadGen {
+// subsequence of the tenant stream. keySpace overrides the per-client
+// key population (<= 0 selects the default opsPerClient/2+1).
+func buildLoad(tenantIdx, clients, opsPerClient, keySpace int, ratePerMCycle float64, putFrac, delFrac float64, valueBytes, window int, rng *rand.Rand) *loadGen {
 	total := clients * opsPerClient
 	g := &loadGen{
 		ops:      make([]genOp, 0, total),
@@ -66,7 +67,10 @@ func buildLoad(tenantIdx, clients, opsPerClient int, ratePerMCycle float64, putF
 	}
 	// Per-client op scripts: the first touch of every key is a put, later
 	// ops mix gets, overwrites and deletes over a small keyspace.
-	keyspace := opsPerClient/2 + 1
+	keyspace := keySpace
+	if keyspace <= 0 {
+		keyspace = opsPerClient/2 + 1
+	}
 	perClient := make([][]genOp, clients)
 	for c := 0; c < clients; c++ {
 		seen := make(map[string]bool)
@@ -152,6 +156,33 @@ func (g *loadGen) nextDue(now uint64) *genOp {
 // are dealt round-robin, so it is the tenant sequence number divided by
 // the client count.
 func (g *loadGen) clientPos(op *genOp) int { return op.seq / len(g.next) }
+
+// duePressure summarises the uninjected backlog at a cycle time: how
+// many ops are due (capped at cap — past that the hold policy's answer
+// cannot change, so the scan stops), how many of those are mutations,
+// and whether the schedule still has arrivals beyond now. The fill
+// handler's hold policy weighs due against its depth target, and a
+// hold is only worth anything while future is true: once the last
+// arrival is in the past the batch can never get deeper.
+func (g *loadGen) duePressure(now uint64, cap int) (due, muts int, future bool) {
+	for i := g.cursor; i < len(g.ops); i++ {
+		op := &g.ops[i]
+		if op.injected {
+			continue
+		}
+		if op.arrival > now {
+			return due, muts, true // arrivals are sorted: the rest is future
+		}
+		due++
+		if op.kind != OpGet {
+			muts++
+		}
+		if due >= cap {
+			return due, muts, true
+		}
+	}
+	return due, muts, false
+}
 
 // markInjected commits an op returned by nextDue: the client model is
 // advanced so later gets know what to expect, and the window charged.

@@ -80,6 +80,18 @@ type Config struct {
 	// DefaultRingFrames). Deeper rings pipeline more ops per doorbell
 	// VMEXIT and feed larger kv group commits.
 	RingFrames int
+	// ReadCacheEntries sizes the guest's LRU of session-encrypted hot
+	// values (0 = DefaultReadCacheEntries; negative disables the cache).
+	ReadCacheEntries int
+	// HoldBudgetCycles caps how long the fill handler may answer a
+	// doorbell empty so more arrivals accumulate into one group commit
+	// (0 = DefaultHoldBudgetCycles; negative disables holding — every
+	// due op posts immediately).
+	HoldBudgetCycles int64
+	// KeySpace overrides the per-client key population (0 = the default
+	// OpsPerClient/2+1). Small keyspaces make gets cache-friendly and
+	// overwrites garbage-heavy.
+	KeySpace int
 	// Parallel schedules tenants with ScheduleParallel at Width slots.
 	Parallel bool
 	Width    int
@@ -134,8 +146,31 @@ func (c Config) withDefaults() Config {
 	if c.RingFrames <= 0 {
 		c.RingFrames = DefaultRingFrames
 	}
+	if c.ReadCacheEntries == 0 {
+		c.ReadCacheEntries = DefaultReadCacheEntries
+	}
+	if c.HoldBudgetCycles == 0 {
+		c.HoldBudgetCycles = DefaultHoldBudgetCycles
+	}
 	return c
 }
+
+// DefaultReadCacheEntries sizes each tenant guest's read cache of
+// session-encrypted hot values.
+const DefaultReadCacheEntries = 128
+
+// DefaultHoldBudgetCycles bounds the extra delay one batch formation
+// may add by answering doorbells empty — ~3/8 of the serve-p50
+// objective, so holding alone cannot burn the SLO, yet comfortably
+// above the commit's two-seek cost it amortises (measured on the
+// put-heavy sweep: this budget holds hundreds of times per run and
+// halves p50 at 1.6 ops/Mcycle/tenant).
+const DefaultHoldBudgetCycles = 3 << 20
+
+// adaptAmortCycles is the arrival window the fill handler tries to
+// gather into one group commit — about ten write-seeks' worth of
+// cycles, so the commit's two seeks amortise to noise across the batch.
+const adaptAmortCycles = float64(4 << 20)
 
 // tenant is one tenant VM plus its client-side session state. All fields
 // below the setup section are mutated only inside the domain's event
@@ -166,10 +201,54 @@ type tenant struct {
 	keySent  bool
 	keyAcked bool
 
+	// Adaptive-depth state (handler-owned): a smoothed interarrival gap
+	// measured as ops are injected, the cycle the current hold streak
+	// began (0 = not holding), and the hold count.
+	arrEWMA   float64
+	lastArr   uint64
+	holdSince uint64
+	holds     uint64
+
 	// Stats (handler-owned until Run returns).
-	ops, gets, puts, dels       uint64
-	timeouts, mismatches, stray uint64
-	lat                         *telemetry.Histogram
+	ops, gets, puts, dels             uint64
+	timeouts, mismatches, stray, errs uint64
+	lat                               *telemetry.Histogram
+}
+
+// observeArrival feeds the fill handler's interarrival EWMA. Window
+// skips can inject slightly out of arrival order, so negative gaps are
+// clamped rather than wrapped.
+func (t *tenant) observeArrival(arr uint64) {
+	if t.lastArr != 0 {
+		gap := float64(int64(arr) - int64(t.lastArr))
+		if gap < 0 {
+			gap = 0
+		}
+		if t.arrEWMA == 0 {
+			t.arrEWMA = gap
+		} else {
+			t.arrEWMA += 0.2 * (gap - t.arrEWMA)
+		}
+	}
+	t.lastArr = arr
+}
+
+// depthTarget converts the measured arrival rate into the batch size
+// worth waiting for: the arrivals expected inside adaptAmortCycles,
+// clamped to [1, ring frames]. A trickle tenant gets target 1 (no
+// holding, minimum latency); a saturating one gets the full ring.
+func (t *tenant) depthTarget() int {
+	if t.arrEWMA <= 0 {
+		return 1
+	}
+	d := int(adaptAmortCycles / t.arrEWMA)
+	if d < 1 {
+		d = 1
+	}
+	if d > t.frames {
+		d = t.frames
+	}
+	return d
 }
 
 // Service is one multi-tenant serving scenario bound to a platform.
@@ -270,7 +349,7 @@ func New(f *core.Fidelius, cfg Config) (*Service, error) {
 		s.X.Events.Bind(d.ID, DoorbellPort, s.fillHandler(t))
 		s.X.Events.Bind(d.ID, CompletionPort, s.drainHandler(t))
 
-		t.gen = buildLoad(i, cfg.ClientsPerTenant, cfg.OpsPerClient,
+		t.gen = buildLoad(i, cfg.ClientsPerTenant, cfg.OpsPerClient, cfg.KeySpace,
 			cfg.RatePerMCycle, cfg.PutFrac, cfg.DelFrac, cfg.ValueBytes, cfg.Window,
 			rand.New(rand.NewSource(cfg.Seed+int64(i)+1)))
 		t.lat = s.hub().Reg.Histogram("serve.latency", telemetry.ServeLatencyBuckets, "tenant", t.name)
@@ -339,6 +418,23 @@ func (t *tenant) sessionDone() bool {
 // frames and publishes the batch count, setting the stop flag once the
 // session has fully drained. Runs in host context under the machine's
 // gate lock, while the guest vCPU is parked in the hypercall exit.
+//
+// The posted batch size is adaptive. The handler tracks the tenant's
+// arrival rate (EWMA of interarrival gaps) and from it a depth target:
+// how many ops arrive inside adaptAmortCycles. When mutations are due
+// but fewer than the target, it may answer the doorbell *empty* — the
+// guest halts a quantum and rings again, by which time more arrivals
+// are due — so the eventual group commit carries a deeper span and its
+// two write seeks amortise further. The hold is bounded by what the
+// hold itself adds: once the handler has answered empty for
+// HoldBudgetCycles since the streak began, the batch posts no matter
+// how shallow. The budget deliberately ignores how long the oldest op
+// has already queued — that delay is sunk, and gating on it would shut
+// the policy off exactly at saturation, where batch formation pays the
+// most. A hold is also refused outright once the schedule has no
+// arrivals left beyond now: the batch can never get deeper, so waiting
+// would burn the whole budget as dead time at the tail of a run. At a
+// trickle the target is 1 and every op posts immediately.
 func (s *Service) fillHandler(t *tenant) func() error {
 	return func() error {
 		hub := s.hub()
@@ -359,6 +455,22 @@ func (s *Service) fillHandler(t *tenant) func() error {
 			n++
 		}
 		if t.keySent {
+			if n == 0 && s.cfg.HoldBudgetCycles > 0 {
+				due, muts, future := t.gen.duePressure(now, t.frames)
+				if muts > 0 && future && due < t.depthTarget() {
+					if t.holdSince == 0 {
+						t.holdSince = now
+					}
+					if now-t.holdSince < uint64(s.cfg.HoldBudgetCycles) {
+						t.holds++
+						hub.M.ServeHolds.Inc()
+						var ctl [SectorSize]byte
+						encodeReqCtl(ctl[:], 0, 0)
+						return s.writePA(framePA(t.reqPAs, 0), ctl[:])
+					}
+				}
+			}
+			t.holdSince = 0
 			for n < uint32(t.frames) {
 				op := t.gen.nextDue(now)
 				if op == nil {
@@ -367,6 +479,7 @@ func (s *Service) fillHandler(t *tenant) func() error {
 				id := t.nextID
 				t.nextID++
 				t.gen.markInjected(op, id)
+				t.observeArrival(op.arrival)
 				// Values cross the host-visible ring encrypted under the
 				// session key the client minted at admission.
 				payload := op.val
@@ -391,6 +504,9 @@ func (s *Service) fillHandler(t *tenant) func() error {
 		var flags uint32
 		if n == 0 && t.sessionDone() {
 			flags = FlagStop
+		}
+		if n > 0 {
+			hub.M.ServeBatchDepth.Observe(uint64(n))
 		}
 		var ctl [SectorSize]byte
 		encodeReqCtl(ctl[:], n, flags)
@@ -441,7 +557,15 @@ func (s *Service) drainHandler(t *tenant) func() error {
 			}
 			t.gen.markDone(op)
 			lat := now - op.arrival
-			hub.M.ServeOps.Inc()
+			// serve.ops counts ops answered definitively (found or
+			// not-found) — the same rule the guest's console accounting
+			// uses, so the two agree even on runs where commits fail and
+			// ops come back errored.
+			if status == StatusOK || status == StatusNotFound {
+				hub.M.ServeOps.Inc()
+			} else {
+				t.errs++
+			}
 			hub.M.ServeLatency.Observe(lat)
 			t.lat.Observe(lat)
 			t.ops++

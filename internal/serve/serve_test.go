@@ -196,31 +196,65 @@ func TestConcurrentServeTenants(t *testing.T) {
 }
 
 // TestServeRingCiphertext proves the confidentiality property the ring
-// design claims, under both ring geometries: at every point where the
-// hypervisor can observe the shared pages — right after the host fills
-// a request batch, and right when the guest posts its responses — no
-// plaintext client value appears anywhere on the ring. The tenant disk
-// image is scanned too (it must hold only Kblk-encrypted kv sectors).
+// design claims: at every point where the hypervisor can observe the
+// shared pages — right after the host fills a request batch, and right
+// when the guest posts its responses — no plaintext client value appears
+// anywhere on the ring. The tenant disk image is scanned too (it must
+// hold only Kblk-encrypted kv sectors). Three run shapes are covered:
+// both ring geometries, and a read-cache-enabled overwrite-heavy run
+// sized so the log compacts mid-flight — the disk is re-scanned right
+// after every compaction, since Compact rewrites the whole live set into
+// the other half and a plaintext rewrite would be a fresh leak.
 func TestServeRingCiphertext(t *testing.T) {
-	for _, frames := range []int{LegacyRingFrames, DefaultRingFrames} {
-		t.Run(fmt.Sprintf("frames=%d", frames), func(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		// wantCompact asserts the run actually went through at least one
+		// live compaction (and that the cache actually served hits), so
+		// the scans provably covered the rewrite path.
+		wantCompact bool
+	}{
+		{
+			name: "legacy-frames",
+			cfg: Config{
+				Tenants: 1, ClientsPerTenant: 8, OpsPerClient: 4,
+				RatePerMCycle: 2, PutFrac: 0.6, DelFrac: 0.1,
+				RingFrames: LegacyRingFrames,
+			},
+		},
+		{
+			name: "default-frames",
+			cfg: Config{
+				Tenants: 1, ClientsPerTenant: 8, OpsPerClient: 4,
+				RatePerMCycle: 2, PutFrac: 0.6, DelFrac: 0.1,
+				RingFrames: DefaultRingFrames,
+			},
+		},
+		{
+			name: "compacting-cached",
+			cfg: Config{
+				Tenants: 1, ClientsPerTenant: 8, OpsPerClient: 16,
+				RatePerMCycle: 2, PutFrac: 0.5, DelFrac: 0.15,
+				// 3 hot keys per client over a 48-sector half: the write
+				// volume (~80 record sectors) overflows the half, so the
+				// guest must compact while traffic is still flowing.
+				KeySpace: 3, StoreSectors: 97,
+				RingFrames: DefaultRingFrames,
+			},
+			wantCompact: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
 			f := newServePlatform(t)
-			cfg := Config{
-				Tenants:          1,
-				ClientsPerTenant: 8,
-				OpsPerClient:     4,
-				RatePerMCycle:    2,
-				PutFrac:          0.6,
-				DelFrac:          0.1,
-				RingFrames:       frames,
-			}
-			s, err := New(f, cfg)
+			hub := f.X.M.Ctl.Telem
+			s, err := New(f, tc.cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			tn := s.tenants[0]
-			if tn.frames != frames {
-				t.Fatalf("tenant ring depth %d, want %d", tn.frames, frames)
+			if tn.frames != tc.cfg.RingFrames {
+				t.Fatalf("tenant ring depth %d, want %d", tn.frames, tc.cfg.RingFrames)
 			}
 			// Every plaintext value a client will ever send. Values are
 			// random 48-byte strings, so a substring hit in host-visible
@@ -249,12 +283,28 @@ func TestServeRingCiphertext(t *testing.T) {
 				}
 				return nil
 			}
+			scanDisk := func(stage string) {
+				img := tn.disk.Snapshot()
+				for _, sec := range secrets {
+					if bytes.Contains(img, sec) {
+						t.Errorf("%s: plaintext value in the tenant disk image", stage)
+					}
+				}
+			}
 			// Re-bind the two ring ports with scanning wrappers around the
 			// stock handlers; Bind replaces, so the data path is unchanged.
+			// The fill wrapper also watches the compaction counter: the
+			// guest compacts between batches, so by the next doorbell a
+			// fresh compaction's rewritten half is on disk — scan it then.
+			var seenCompactions uint64
 			fill, drain := s.fillHandler(tn), s.drainHandler(tn)
 			s.X.Events.Bind(tn.dom.ID, DoorbellPort, func() error {
 				if err := fill(); err != nil {
 					return err
+				}
+				if n := hub.Reg.Snapshot().Counters["kv.compactions"]; n > seenCompactions {
+					seenCompactions = n
+					scanDisk("after compaction")
 				}
 				return scan("after fill")
 			})
@@ -270,16 +320,154 @@ func TestServeRingCiphertext(t *testing.T) {
 				}
 			}
 			r := s.Reports()[0]
-			want := uint64(cfg.ClientsPerTenant * cfg.OpsPerClient)
-			if r.Ops != want || r.Mismatches != 0 {
-				t.Fatalf("ops=%d (want %d), mismatches=%d", r.Ops, want, r.Mismatches)
+			want := uint64(tc.cfg.ClientsPerTenant * tc.cfg.OpsPerClient)
+			if r.Ops != want || r.Mismatches != 0 || r.Errors != 0 {
+				t.Fatalf("ops=%d (want %d), mismatches=%d, errors=%d", r.Ops, want, r.Mismatches, r.Errors)
 			}
-			for _, sec := range secrets {
-				if bytes.Contains(tn.disk.Snapshot(), sec) {
-					t.Error("plaintext value in the tenant disk image")
+			scanDisk("after run")
+			if tc.wantCompact {
+				snap := hub.Reg.Snapshot()
+				if snap.Counters["kv.compactions"] == 0 {
+					t.Error("run never compacted: the scans did not cover a compaction cycle")
+				}
+				if snap.Counters["kv.cache_hits"] == 0 {
+					t.Error("read cache never hit: the scans did not cover the cached read path")
 				}
 			}
 		})
+	}
+}
+
+// TestServeGuestServedCounter pins the guest's console accounting to the
+// host's serve.ops telemetry: both count exactly the ops answered with a
+// definitive status (OK or not-found). The exhausted-store run matters —
+// its commits fail wholesale, and the old guest counter incremented for
+// those errored ops too, so console and telemetry disagreed exactly when
+// an operator needed them to agree.
+func TestServeGuestServedCounter(t *testing.T) {
+	consoleServed := func(t *testing.T, log []byte) uint64 {
+		t.Helper()
+		for _, line := range strings.Split(string(log), "\n") {
+			var n uint64
+			if _, err := fmt.Sscanf(line, "served %d ops", &n); err == nil {
+				return n
+			}
+		}
+		t.Fatalf("no served line in console log %q", log)
+		return 0
+	}
+	run := func(t *testing.T, cfg Config) (uint64, uint64, TenantReport) {
+		t.Helper()
+		f := newServePlatform(t)
+		s, err := New(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for domID, err := range s.Run() {
+			if err != nil {
+				t.Fatalf("domain %d: %v", domID, err)
+			}
+		}
+		got := consoleServed(t, s.X.ConsoleLog(s.tenants[0].dom.ID))
+		snap := f.X.M.Ctl.Telem.Reg.Snapshot()
+		return got, snap.Counters["serve.ops"], s.Reports()[0]
+	}
+
+	t.Run("healthy", func(t *testing.T) {
+		cfg := Config{Tenants: 1, ClientsPerTenant: 8, OpsPerClient: 4, RatePerMCycle: 2}
+		console, telem, r := run(t, cfg)
+		want := uint64(cfg.ClientsPerTenant * cfg.OpsPerClient)
+		if console != telem || console != want {
+			t.Errorf("console served %d, serve.ops %d, want both %d", console, telem, want)
+		}
+		if r.Errors != 0 {
+			t.Errorf("healthy run reported %d errors", r.Errors)
+		}
+	})
+
+	t.Run("store-exhausted", func(t *testing.T) {
+		// A 4-sector half cannot hold the ~24-key live set: most commits
+		// fail even after the compact-and-retry, so a large slice of ops
+		// comes back StatusError. Console and telemetry must still agree.
+		cfg := Config{
+			Tenants: 1, ClientsPerTenant: 8, OpsPerClient: 4,
+			RatePerMCycle: 2, PutFrac: 0.8, DelFrac: 0.05,
+			StoreSectors: 9,
+		}
+		console, telem, r := run(t, cfg)
+		total := uint64(cfg.ClientsPerTenant * cfg.OpsPerClient)
+		if r.Errors == 0 {
+			t.Fatal("exhausted store produced no errored ops; the run does not exercise the disputed accounting")
+		}
+		if console != telem {
+			t.Errorf("console served %d but serve.ops = %d", console, telem)
+		}
+		if console+r.Errors != total {
+			t.Errorf("served %d + errors %d != %d completions", console, r.Errors, total)
+		}
+	})
+}
+
+// TestServeAdaptiveDepth exercises the fill handler's hold policy at the
+// put-heavy saturating rate this PR targets (1.6 ops/Mcycle/tenant, the
+// old knee): with the default hold budget the handler must actually hold
+// doorbells to form deeper batches, the posted-depth histogram must show
+// batching, and p50 must both beat the hold-disabled baseline and clear
+// the serve-p50 objective. A negative budget must disable holding
+// entirely.
+func TestServeAdaptiveDepth(t *testing.T) {
+	run := func(t *testing.T, hold int64) (p50 float64, holds uint64, depth float64) {
+		t.Helper()
+		f := newServePlatform(t)
+		cfg := Config{
+			Tenants: 4, ClientsPerTenant: 16, OpsPerClient: 2,
+			RatePerMCycle: 1.6, PutFrac: 0.7, DelFrac: 0.1,
+			Seed: 7, HoldBudgetCycles: hold,
+		}
+		s, err := New(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for domID, err := range s.Run() {
+			if err != nil {
+				t.Fatalf("domain %d: %v", domID, err)
+			}
+		}
+		want := uint64(cfg.ClientsPerTenant * cfg.OpsPerClient)
+		for _, r := range s.Reports() {
+			if r.Ops != want || r.Mismatches != 0 || r.Errors != 0 {
+				t.Fatalf("tenant %s: ops=%d (want %d), mismatches=%d, errors=%d",
+					r.Name, r.Ops, want, r.Mismatches, r.Errors)
+			}
+		}
+		snap := f.X.M.Ctl.Telem.Reg.Snapshot()
+		lat, ok := snap.Histograms["serve.latency"]
+		if !ok || lat.Count == 0 {
+			t.Fatal("no serve.latency histogram")
+		}
+		d, ok := snap.Histograms["serve.batch_depth"]
+		if !ok || d.Count == 0 {
+			t.Fatal("no serve.batch_depth histogram")
+		}
+		return lat.Quantile(0.50), snap.Counters["serve.holds"], d.Mean()
+	}
+
+	p50Hold, holds, depth := run(t, 0) // 0 = default budget
+	p50Free, freeHolds, _ := run(t, -1)
+	if holds == 0 {
+		t.Error("hold policy never engaged at the saturating rate")
+	}
+	if freeHolds != 0 {
+		t.Errorf("%d holds recorded with holding disabled", freeHolds)
+	}
+	if depth <= 1 {
+		t.Errorf("average posted batch depth %.2f; want batching above depth 1", depth)
+	}
+	if p50Hold >= p50Free {
+		t.Errorf("hold policy did not improve p50: %.0f (hold) vs %.0f (disabled)", p50Hold, p50Free)
+	}
+	if limit := float64(8 << 20); p50Hold > limit {
+		t.Errorf("p50 %.0f above the %.0f-cycle serve-p50 objective at 1.6 ops/Mcycle/tenant", p50Hold, limit)
 	}
 }
 
@@ -378,7 +566,7 @@ func TestRingCodecRoundTrip(t *testing.T) {
 // window, and the model predicts every get.
 func TestLoadGenOpenLoop(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	g := buildLoad(0, 4, 16, 10, 0.35, 0.10, 16, 2, rng)
+	g := buildLoad(0, 4, 16, 0, 10, 0.35, 0.10, 16, 2, rng)
 	if g.total() != 64 {
 		t.Fatalf("generated %d ops, want 64", g.total())
 	}

@@ -11,18 +11,21 @@ import (
 // telemetry registry's labelled latency histogram plus the handler-owned
 // counters after Run returns.
 type TenantReport struct {
-	Name       string  `json:"name"`
-	VM         uint32  `json:"vm"`
-	Clients    int     `json:"clients"`
-	Admitted   bool    `json:"admitted"`
-	Ops        uint64  `json:"ops"`
-	Gets       uint64  `json:"gets"`
-	Puts       uint64  `json:"puts"`
-	Dels       uint64  `json:"dels"`
-	Timeouts   uint64  `json:"timeouts"`
-	Mismatches uint64  `json:"mismatches"`
-	P50        float64 `json:"p50_cycles"`
-	P99        float64 `json:"p99_cycles"`
+	Name       string `json:"name"`
+	VM         uint32 `json:"vm"`
+	Clients    int    `json:"clients"`
+	Admitted   bool   `json:"admitted"`
+	Ops        uint64 `json:"ops"`
+	Gets       uint64 `json:"gets"`
+	Puts       uint64 `json:"puts"`
+	Dels       uint64 `json:"dels"`
+	Timeouts   uint64 `json:"timeouts"`
+	Mismatches uint64 `json:"mismatches"`
+	// Errors counts completions that came back StatusError (e.g. a put
+	// whose group commit failed); these are excluded from serve.ops.
+	Errors uint64  `json:"errors"`
+	P50    float64 `json:"p50_cycles"`
+	P99    float64 `json:"p99_cycles"`
 	// Throughput is completed ops per million cycles of the Run window.
 	Throughput float64 `json:"ops_per_mcycle"`
 }
@@ -49,6 +52,7 @@ func (s *Service) Reports() []TenantReport {
 			Dels:       t.dels,
 			Timeouts:   t.timeouts,
 			Mismatches: t.mismatches + t.stray,
+			Errors:     t.errs,
 		}
 		if h, ok := snap.Histograms[telemetry.MetricName("serve.latency", "tenant", t.name)]; ok && h.Count > 0 {
 			r.P50 = h.Quantile(0.50)

@@ -179,10 +179,16 @@ type Metrics struct {
 	DiskSeekWrites      *Counter // xen.disk_seeks{kind=write}: non-sequential write LBAs
 	KVSeqWrites         *Counter // kv.seq_writes: store writes coalesced onto a pending span
 	KVGroupCommits      *Counter // kv.group_commits: multi-write spans flushed as one request
+	KVCacheHits         *Counter // kv.cache_hits: gets answered from the guest read cache
+	KVCacheMisses       *Counter // kv.cache_misses: gets that had to recharge the session cipher
+	KVCompactions       *Counter // kv.compactions: log compaction cycles completed
+	KVReclaimed         *Counter // kv.compact_reclaimed: log sectors reclaimed by compaction
+	ServeHolds          *Counter // serve.holds: doorbells answered empty to deepen the next batch
 
-	ExitCycles    *Histogram // vmexit.cycles: per-quantum round-trip cost
-	BlkReqSectors *Histogram // blk.request_sectors: request size distribution
-	ServeLatency  *Histogram // serve.latency: arrival-to-response cycles, all tenants
+	ExitCycles      *Histogram // vmexit.cycles: per-quantum round-trip cost
+	BlkReqSectors   *Histogram // blk.request_sectors: request size distribution
+	ServeLatency    *Histogram // serve.latency: arrival-to-response cycles, all tenants
+	ServeBatchDepth *Histogram // serve.batch_depth: ops posted per non-empty doorbell fill
 }
 
 func newMetrics(r *Registry) Metrics {
@@ -214,9 +220,16 @@ func newMetrics(r *Registry) Metrics {
 		DiskSeekWrites: r.Counter("xen.disk_seeks", "kind", "write"),
 		KVSeqWrites:    r.Counter("kv.seq_writes"),
 		KVGroupCommits: r.Counter("kv.group_commits"),
+		KVCacheHits:    r.Counter("kv.cache_hits"),
+		KVCacheMisses:  r.Counter("kv.cache_misses"),
+		KVCompactions:  r.Counter("kv.compactions"),
+		KVReclaimed:    r.Counter("kv.compact_reclaimed"),
+		ServeHolds:     r.Counter("serve.holds"),
 		ExitCycles:     r.Histogram("vmexit.cycles", CycleBuckets),
 		BlkReqSectors:  r.Histogram("blk.request_sectors", []uint64{1, 2, 4, 8, 16, 32, 64, 128}),
 		ServeLatency:   r.Histogram("serve.latency", ServeLatencyBuckets),
+		ServeBatchDepth: r.Histogram("serve.batch_depth",
+			[]uint64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
 	}
 }
 
